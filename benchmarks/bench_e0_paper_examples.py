@@ -1,0 +1,58 @@
+"""E0 — the worked examples of the paper's introduction.
+
+Reproduces, digit for digit, the numbers the paper states: the single-disk
+example (elapsed 13 for the greedy choice, 11 for the better one) and the
+two-disk example (stall 3 for the narrated schedule).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Aggressive
+from repro.analysis import format_table
+from repro.disksim import execute_interval_schedule, simulate
+from repro.lp import optimal_single_disk
+from repro.workloads import (
+    parallel_disk_example,
+    parallel_disk_example_schedule,
+    single_disk_example,
+    single_disk_example_good_schedule,
+    single_disk_example_greedy_schedule,
+)
+
+from conftest import emit
+
+
+def test_e0_paper_examples(benchmark):
+    single = single_disk_example()
+    parallel = parallel_disk_example()
+
+    def run():
+        return {
+            "aggressive": simulate(single, Aggressive()).elapsed_time,
+            "greedy": execute_interval_schedule(
+                single, single_disk_example_greedy_schedule()
+            ).elapsed_time,
+            "good": execute_interval_schedule(
+                single, single_disk_example_good_schedule()
+            ).elapsed_time,
+            "parallel_stall": execute_interval_schedule(
+                parallel, parallel_disk_example_schedule()
+            ).stall_time,
+        }
+
+    measured = benchmark(run)
+    optimum = optimal_single_disk(single).elapsed_time
+
+    rows = [
+        {"quantity": "single disk, fetch at b2 (greedy) elapsed", "paper": 13, "measured": measured["greedy"]},
+        {"quantity": "single disk, Aggressive elapsed", "paper": 13, "measured": measured["aggressive"]},
+        {"quantity": "single disk, fetch at b3 (better) elapsed", "paper": 11, "measured": measured["good"]},
+        {"quantity": "single disk, optimal elapsed (LP)", "paper": 11, "measured": optimum},
+        {"quantity": "two disks, narrated schedule stall", "paper": 3, "measured": measured["parallel_stall"]},
+    ]
+    emit("E0: worked examples from the introduction", format_table(rows))
+    assert measured["greedy"] == 13
+    assert measured["aggressive"] == 13
+    assert measured["good"] == 11
+    assert optimum == 11
+    assert measured["parallel_stall"] == 3

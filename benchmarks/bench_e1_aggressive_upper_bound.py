@@ -1,0 +1,65 @@
+"""E1 — Theorem 1: Aggressive's measured ratio vs the refined upper bound.
+
+Sweeps (k, F) over random and adversarial workloads, measures Aggressive's
+elapsed-time ratio against the exact LP optimum, and prints it next to the
+refined Theorem 1 bound, the original Cao et al. bound and the Theorem 2
+lower bound.  Expected shape: measured <= Theorem 1 everywhere, with the
+adversarial family pushing measured close to the Theorem 2 value.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Aggressive
+from repro.analysis import format_table
+from repro.core.bounds import SingleDiskBounds
+from repro.disksim import ProblemInstance, simulate
+from repro.lp import optimal_single_disk
+from repro.workloads import theorem2_sequence, zipf
+
+from conftest import emit
+
+GRID = [
+    # (k, F, workload kind)
+    (6, 3, "zipf"),
+    (8, 4, "zipf"),
+    (12, 4, "zipf"),
+    (16, 6, "zipf"),
+    (7, 4, "adversarial"),
+    (13, 4, "adversarial"),
+    (11, 6, "adversarial"),
+]
+
+
+def _instance(k: int, fetch_time: int, kind: str) -> ProblemInstance:
+    if kind == "adversarial":
+        return theorem2_sequence(k, fetch_time, num_phases=4).instance
+    sequence = zipf(60, max(10, 2 * k), seed=k * 31 + fetch_time, prefix=f"e1_{k}_{fetch_time}_")
+    return ProblemInstance.single_disk(sequence, cache_size=k, fetch_time=fetch_time)
+
+
+def test_e1_aggressive_upper_bound(benchmark):
+    instances = {(k, f, kind): _instance(k, f, kind) for k, f, kind in GRID}
+
+    def run():
+        return {key: simulate(inst, Aggressive()).elapsed_time for key, inst in instances.items()}
+
+    elapsed = benchmark(run)
+
+    rows = []
+    for (k, fetch_time, kind), instance in instances.items():
+        optimum = optimal_single_disk(instance).elapsed_time
+        bounds = SingleDiskBounds(k, fetch_time)
+        ratio = elapsed[(k, fetch_time, kind)] / optimum
+        rows.append(
+            {
+                "k": k,
+                "F": fetch_time,
+                "workload": kind,
+                "measured_ratio": round(ratio, 4),
+                "thm1_bound": round(bounds.aggressive_refined, 4),
+                "cao_bound": round(bounds.aggressive_cao, 4),
+                "thm2_lower": round(bounds.aggressive_lower, 4),
+            }
+        )
+        assert ratio <= bounds.aggressive_refined + 1e-9
+    emit("E1: Aggressive vs the Theorem 1 refined bound", format_table(rows))

@@ -1,0 +1,56 @@
+"""E2 — Theorem 2: the adversarial family forces Aggressive close to the bound.
+
+Builds the phase construction for several (k, F) pairs, measures Aggressive's
+elapsed time and ratio against the optimum, and compares with the per-phase
+accounting (k + l + F vs k + l + 2) and the asymptotic Theorem 2 value.
+Expected shape: the measured ratio grows with the number of phases towards
+the predicted per-phase ratio, which approaches the Theorem 2 bound.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Aggressive
+from repro.analysis import format_table
+from repro.disksim import simulate
+from repro.lp import optimal_single_disk
+from repro.workloads import theorem2_sequence
+
+from conftest import emit
+
+GRID = [(7, 4, 6), (13, 4, 5), (13, 5, 5), (11, 6, 4), (9, 3, 6)]
+
+
+def test_e2_lower_bound_construction(benchmark):
+    constructions = {
+        (k, fetch_time): theorem2_sequence(k, fetch_time, phases)
+        for k, fetch_time, phases in GRID
+    }
+
+    def run():
+        return {
+            key: simulate(c.instance, Aggressive()).elapsed_time
+            for key, c in constructions.items()
+        }
+
+    measured = benchmark(run)
+
+    rows = []
+    for (k, fetch_time), construction in constructions.items():
+        optimum = optimal_single_disk(construction.instance).elapsed_time
+        ratio = measured[(k, fetch_time)] / optimum
+        rows.append(
+            {
+                "k": k,
+                "F": fetch_time,
+                "phases": construction.num_phases,
+                "aggressive": measured[(k, fetch_time)],
+                "optimal": optimum,
+                "measured_ratio": round(ratio, 4),
+                "per_phase_prediction": round(construction.predicted_ratio, 4),
+                "thm2_asymptotic": round(construction.asymptotic_ratio, 4),
+            }
+        )
+        # The measured ratio must exceed 1 (the construction hurts Aggressive)
+        # and stay below the per-phase prediction (finite-length effects).
+        assert 1.0 < ratio <= construction.predicted_ratio + 1e-9
+    emit("E2: Theorem 2 adversarial construction", format_table(rows))

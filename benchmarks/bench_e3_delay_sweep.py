@@ -1,0 +1,66 @@
+"""E3 — Theorem 3: Delay(d) as a function of d.
+
+Sweeps the delay parameter from 0 (Aggressive) to beyond F, measuring the
+elapsed-time ratio on a mix of workloads and printing it next to the
+Theorem 3 bound max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)}.  Expected shape:
+the measured curve stays below the bound; the bound itself is minimised near
+d0 = (sqrt(3)-1)F/2.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Delay
+from repro.analysis import format_table
+from repro.core.bounds import best_delay_parameter, delay_bound
+from repro.disksim import ProblemInstance, simulate
+from repro.lp import optimal_single_disk
+from repro.workloads import theorem2_sequence, zipf
+
+from conftest import emit
+
+FETCH_TIME = 6
+CACHE = 9
+DELAYS = [0, 1, 2, 3, 4, 6, 9, 12]
+
+
+def _instances():
+    instances = [theorem2_sequence(CACHE, 3, num_phases=5).instance.with_cache_size(CACHE)]
+    for seed in (1, 2):
+        sequence = zipf(60, 18, seed=seed, prefix=f"e3_{seed}_")
+        instances.append(
+            ProblemInstance.single_disk(sequence, cache_size=CACHE, fetch_time=FETCH_TIME)
+        )
+    return instances
+
+
+def test_e3_delay_parameter_sweep(benchmark):
+    instances = _instances()
+    optima = [optimal_single_disk(instance).elapsed_time for instance in instances]
+
+    def run():
+        table = {}
+        for d in DELAYS:
+            table[d] = [simulate(instance, Delay(d)).elapsed_time for instance in instances]
+        return table
+
+    measured = benchmark(run)
+
+    d0 = best_delay_parameter(FETCH_TIME)
+    rows = []
+    for d in DELAYS:
+        worst = max(e / o for e, o in zip(measured[d], optima))
+        rows.append(
+            {
+                "d": d,
+                "is_d0": "*" if d == d0 else "",
+                "worst_measured_ratio": round(worst, 4),
+                "thm3_bound(F=6)": round(delay_bound(d, FETCH_TIME), 4),
+            }
+        )
+    emit(
+        "E3: Delay(d) sweep (worst measured ratio over the workload set)",
+        format_table(rows),
+    )
+    # The theoretical curve is minimised at (or next to) d0.
+    bounds = {d: delay_bound(d, FETCH_TIME) for d in DELAYS}
+    assert min(bounds, key=bounds.get) in {d0, d0 - 1, d0 + 1}

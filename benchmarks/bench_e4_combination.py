@@ -1,0 +1,61 @@
+"""E4 — Corollaries 1–2: the Combination algorithm.
+
+Shows that Combination (run Delay(d0) or Aggressive, whichever has the better
+proven bound) achieves measured ratios no worse than the Corollary 2 bound
+min{1 + F/(k + ceil(k/F) - 1), ratio(Delay(d0))} and never loses to the worse
+of the two classical algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Aggressive, Combination, Conservative
+from repro.analysis import format_table
+from repro.core.bounds import combination_bound
+from repro.disksim import ProblemInstance, simulate
+from repro.lp import optimal_single_disk
+from repro.workloads import theorem2_sequence, uniform_random, zipf
+
+from conftest import emit
+
+GRID = [(6, 4), (8, 8), (16, 4), (16, 12), (24, 6)]
+
+
+def _instance(k: int, fetch_time: int) -> ProblemInstance:
+    sequence = zipf(60, 2 * k, seed=k + fetch_time, prefix=f"e4_{k}_{fetch_time}_")
+    return ProblemInstance.single_disk(sequence, cache_size=k, fetch_time=fetch_time)
+
+
+def test_e4_combination(benchmark):
+    instances = {key: _instance(*key) for key in GRID}
+
+    def run():
+        out = {}
+        for key, instance in instances.items():
+            out[key] = {
+                "combination": simulate(instance, Combination()).elapsed_time,
+                "aggressive": simulate(instance, Aggressive()).elapsed_time,
+                "conservative": simulate(instance, Conservative()).elapsed_time,
+            }
+        return out
+
+    measured = benchmark(run)
+
+    rows = []
+    for (k, fetch_time), values in measured.items():
+        optimum = optimal_single_disk(instances[(k, fetch_time)]).elapsed_time
+        chosen = Combination.select_for(instances[(k, fetch_time)]).name
+        ratio = values["combination"] / optimum
+        rows.append(
+            {
+                "k": k,
+                "F": fetch_time,
+                "delegate": chosen,
+                "combination_ratio": round(ratio, 4),
+                "aggressive_ratio": round(values["aggressive"] / optimum, 4),
+                "conservative_ratio": round(values["conservative"] / optimum, 4),
+                "corollary2_bound": round(combination_bound(k, fetch_time), 4),
+            }
+        )
+        assert ratio <= combination_bound(k, fetch_time) + 1e-9
+        assert values["combination"] <= max(values["aggressive"], values["conservative"])
+    emit("E4: Combination vs Aggressive and Conservative", format_table(rows))

@@ -1,0 +1,70 @@
+"""E6 — Theorem 4: minimum-stall schedules for parallel disks.
+
+For D in {2, 3, 4}, computes the Theorem 4 schedule and verifies the two
+guarantees: its stall time is at most the unrestricted optimum s_OPT(sigma,k)
+(certified by brute force on the tiny instances, by the LP lower bound on the
+larger ones) and its extra memory usage is at most 2(D-1).  Baselines
+(parallel Aggressive/Conservative, demand fetching) give the context of how
+much the optimal schedule saves.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import DemandFetch, ParallelAggressive, ParallelConservative
+from repro.analysis import brute_force_optimal_stall, format_table
+from repro.disksim import DiskLayout, ProblemInstance, RequestSequence, simulate
+from repro.lp import optimal_parallel_schedule
+from repro.workloads import uniform_random
+from repro.workloads.multidisk import striped_instance
+
+from conftest import emit
+
+
+def _tiny_instance() -> ProblemInstance:
+    layout = DiskLayout.partitioned([["a", "b", "c"], ["x", "y"]])
+    sequence = RequestSequence(["a", "x", "b", "y", "c", "a", "x", "b"])
+    return ProblemInstance.parallel_disk(
+        sequence, cache_size=3, fetch_time=3, layout=layout, initial_cache=["a", "x", "b"]
+    )
+
+
+def _instances():
+    instances = {"tiny D=2 (brute-force certified)": _tiny_instance()}
+    for num_disks in (2, 3, 4):
+        sequence = uniform_random(36, 14, seed=num_disks, prefix=f"e6_{num_disks}_")
+        instances[f"random D={num_disks}"] = striped_instance(sequence, 6, 4, num_disks)
+    return instances
+
+
+def test_e6_parallel_optimal_stall(benchmark):
+    instances = _instances()
+
+    def run():
+        return {label: optimal_parallel_schedule(inst) for label, inst in instances.items()}
+
+    optima = benchmark(run)
+
+    rows = []
+    for label, instance in instances.items():
+        optimum = optima[label]
+        baselines = {
+            "parallel-aggressive": simulate(instance, ParallelAggressive()).stall_time,
+            "parallel-conservative": simulate(instance, ParallelConservative()).stall_time,
+            "demand": simulate(instance, DemandFetch()).stall_time,
+        }
+        row = {
+            "instance": label,
+            "D": instance.num_disks,
+            "optimal_stall": optimum.stall_time,
+            "extra_cache": optimum.extra_cache_used,
+            "allowed_extra": 2 * (instance.num_disks - 1),
+            **baselines,
+        }
+        if "tiny" in label:
+            unrestricted = brute_force_optimal_stall(instance).stall_time
+            row["s_OPT(k)"] = unrestricted
+            assert optimum.stall_time <= unrestricted
+        rows.append(row)
+        assert optimum.extra_cache_used <= 2 * (instance.num_disks - 1)
+        assert optimum.stall_time <= baselines["parallel-aggressive"]
+    emit("E6: Theorem 4 parallel-disk optimal stall", format_table(rows))

@@ -1,0 +1,61 @@
+"""E8 — prior-work context: parallel Aggressive/Conservative degrade with D.
+
+Kimbrel and Karlin showed the natural multi-disk generalisations of the
+classical algorithms have approximation ratios that grow with the number of
+disks.  This experiment sweeps D and reports the baselines' stall relative to
+the Theorem 4 schedule.  Expected shape: the gap (ratio) tends to widen as D
+grows, while the Theorem 4 schedule stays at the optimum by construction.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import DemandFetch, ParallelAggressive, ParallelConservative
+from repro.analysis import format_table
+from repro.disksim import simulate
+from repro.lp import optimal_parallel_schedule
+from repro.workloads import uniform_random
+from repro.workloads.multidisk import striped_instance
+
+from conftest import emit
+
+DISKS = [1, 2, 3, 4]
+
+
+def _instance(num_disks: int):
+    sequence = uniform_random(40, 16, seed=17, prefix="e8_")
+    return striped_instance(sequence, 6, 4, num_disks)
+
+
+def test_e8_parallel_baselines(benchmark):
+    instances = {d: _instance(d) for d in DISKS}
+
+    def run():
+        out = {}
+        for d, instance in instances.items():
+            out[d] = {
+                "parallel-aggressive": simulate(instance, ParallelAggressive()).stall_time,
+                "parallel-conservative": simulate(instance, ParallelConservative()).stall_time,
+                "demand": simulate(instance, DemandFetch()).stall_time,
+            }
+        return out
+
+    measured = benchmark(run)
+
+    rows = []
+    for d, values in measured.items():
+        optimum = optimal_parallel_schedule(instances[d])
+        reference = max(optimum.stall_time, 1)
+        rows.append(
+            {
+                "D": d,
+                "optimal_stall": optimum.stall_time,
+                "aggr_stall": values["parallel-aggressive"],
+                "aggr_vs_opt": round(values["parallel-aggressive"] / reference, 3),
+                "cons_stall": values["parallel-conservative"],
+                "cons_vs_opt": round(values["parallel-conservative"] / reference, 3),
+                "demand_stall": values["demand"],
+            }
+        )
+        assert optimum.stall_time <= values["parallel-aggressive"]
+        assert optimum.stall_time <= values["parallel-conservative"]
+    emit("E8: parallel-disk baselines vs the Theorem 4 schedule", format_table(rows))

@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` module reproduces one experiment from EXPERIMENTS.md.
+The modules use ``pytest-benchmark`` to time the algorithm under study and
+print the experiment's result table once per session (captured with ``-s`` or
+in the benchmark summary output).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print an experiment table in a recognisable block."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects experiment tables and prints them at the end of the session."""
+    tables = []
+    yield tables
+    for title, body in tables:
+        emit(title, body)

@@ -1,0 +1,7 @@
+"""Setuptools shim so that editable installs work on environments without the
+``wheel`` package (PEP 660 editable builds need it; ``setup.py develop`` does not).
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Integrated prefetching/caching algorithms.
+
+Single disk (Section 2 of the paper): :class:`Aggressive`,
+:class:`Conservative`, the new :class:`Delay` family and :class:`Combination`.
+Parallel disks: :class:`ParallelAggressive` and :class:`ParallelConservative`
+(the Kimbrel–Karlin style baselines the Section 3 LP algorithm is compared
+against).  :class:`DemandFetch` is the no-prefetching baseline.
+"""
+
+from .aggressive import Aggressive
+from .base import PrefetchAlgorithm
+from .combination import Combination
+from .conservative import Conservative
+from .delay import Delay
+from .demand import DemandFetch
+from .parallel_aggressive import ParallelAggressive, ParallelConservative
+from .registry import available_algorithms, make_algorithm, register_algorithm
+
+__all__ = [
+    "PrefetchAlgorithm",
+    "Aggressive",
+    "Conservative",
+    "Delay",
+    "Combination",
+    "DemandFetch",
+    "ParallelAggressive",
+    "ParallelConservative",
+    "available_algorithms",
+    "make_algorithm",
+    "register_algorithm",
+]

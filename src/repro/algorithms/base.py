@@ -1,0 +1,91 @@
+"""Base class and shared helpers for integrated prefetching/caching algorithms.
+
+Every algorithm in this package implements the
+:class:`~repro.disksim.executor.PrefetchPolicy` protocol: the simulation
+engine calls ``decide`` at each decision point and the algorithm returns the
+fetches to initiate.  :class:`PrefetchAlgorithm` provides the boilerplate
+(instance bookkeeping, a ``run`` convenience wrapper, deterministic victim
+selection helpers) so that the individual algorithms read close to their
+description in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List, Optional
+
+from .._typing import INFINITY, BlockId
+from ..disksim.executor import FetchDecision, PolicyView, SimulationResult, simulate
+from ..disksim.instance import ProblemInstance
+
+__all__ = ["PrefetchAlgorithm"]
+
+
+class PrefetchAlgorithm(ABC):
+    """Common base class of all prefetching/caching algorithms.
+
+    Subclasses implement :meth:`decide`; :meth:`on_reset` is an optional hook
+    for per-run precomputation (Conservative uses it to replay MIN).
+    """
+
+    #: Human-readable algorithm name used in result tables.
+    name: str = "prefetch-algorithm"
+
+    def __init__(self) -> None:
+        self._instance: Optional[ProblemInstance] = None
+
+    # -- PrefetchPolicy protocol -----------------------------------------------------
+
+    def reset(self, instance: ProblemInstance) -> None:
+        """Store the instance and run the subclass precomputation hook."""
+        self._instance = instance
+        self.on_reset(instance)
+
+    def on_reset(self, instance: ProblemInstance) -> None:
+        """Per-run precomputation hook (default: nothing)."""
+
+    @abstractmethod
+    def decide(self, view: PolicyView) -> List[FetchDecision]:
+        """Fetches to initiate at this decision point."""
+
+    # -- conveniences ------------------------------------------------------------------
+
+    @property
+    def instance(self) -> ProblemInstance:
+        """The instance of the current run (valid after ``reset``)."""
+        if self._instance is None:
+            raise RuntimeError(f"{self.name}: reset() has not been called")
+        return self._instance
+
+    def run(self, instance: ProblemInstance) -> SimulationResult:
+        """Simulate this algorithm over ``instance`` (wrapper around :func:`simulate`)."""
+        return simulate(instance, self)
+
+    # -- shared building blocks --------------------------------------------------------
+
+    @staticmethod
+    def furthest_next_use_victim(
+        view: PolicyView,
+        *,
+        measured_from: Optional[int] = None,
+        candidates: Optional[FrozenSet[BlockId]] = None,
+    ) -> Optional[BlockId]:
+        """The resident block whose next use (from ``measured_from``) is furthest away."""
+        return view.furthest_resident(from_position=measured_from, candidates=candidates)
+
+    @staticmethod
+    def can_evict_for(view: PolicyView, target_position: int, victim: BlockId) -> bool:
+        """Whether ``victim`` is not requested again before ``target_position``.
+
+        This is the pre-condition all the paper's algorithms place on a fetch:
+        the evicted block must not be referenced before the fetched block.
+        """
+        return view.next_use(victim) > target_position
+
+    @staticmethod
+    def single_disk_decision(block: BlockId, victim: Optional[BlockId]) -> List[FetchDecision]:
+        """Wrap a single-disk fetch decision (disk 0) in the list the engine expects."""
+        return [FetchDecision(disk=0, block=block, victim=victim)]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,101 @@
+"""The Conservative algorithm (Cao et al.), single-disk version.
+
+Conservative performs exactly the block replacements of the optimal offline
+paging algorithm MIN (Belady) — so it never makes the cache contents worse
+than pure optimal caching — while initiating each fetch *at the earliest
+point in time that is consistent with the chosen victim*, i.e. immediately
+after the victim's last reference preceding the fetched block's miss.  Cao et
+al. proved its elapsed-time approximation ratio is exactly 2; the paper uses
+it as the other end of the spectrum that the Delay(d) family spans.
+
+Implementation
+--------------
+The replacements are precomputed by replaying MIN over the sequence
+(:mod:`repro.paging.belady`).  Each MIN fault yields a planned fetch
+``(block, victim, earliest start position)``; fetches are issued in fault
+order whenever the disk is idle and the cursor has reached the earliest start
+position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .._typing import BlockId
+from ..disksim.executor import FetchDecision, PolicyView
+from ..disksim.instance import ProblemInstance
+from ..paging.base import run_paging
+from ..paging.belady import BeladyMIN
+from .base import PrefetchAlgorithm
+
+__all__ = ["Conservative"]
+
+
+@dataclass(frozen=True)
+class _PlannedFetch:
+    """One precomputed fetch: load ``block``, evict ``victim``, not before ``earliest_pos``."""
+
+    block: BlockId
+    victim: Optional[BlockId]
+    earliest_pos: int
+    miss_pos: int
+
+
+class Conservative(PrefetchAlgorithm):
+    """MIN's replacements, each fetch started as early as the victim choice allows."""
+
+    name = "conservative"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._plan: List[_PlannedFetch] = []
+        self._next_plan_index = 0
+
+    def on_reset(self, instance: ProblemInstance) -> None:
+        result = run_paging(
+            instance.sequence,
+            instance.cache_size,
+            BeladyMIN(),
+            initial_cache=instance.initial_cache,
+        )
+        plan: List[_PlannedFetch] = []
+        for miss_pos, block, victim in result.evictions:
+            if victim is None:
+                # Cold-start fault into a free slot: can start immediately.
+                earliest = 0
+            else:
+                # The victim must stay in cache until its last reference before
+                # the miss; the fetch may start once that reference is served.
+                last_use = instance.sequence.previous_use_before(miss_pos, victim)
+                earliest = last_use + 1
+            plan.append(
+                _PlannedFetch(block=block, victim=victim, earliest_pos=earliest, miss_pos=miss_pos)
+            )
+        # MIN faults are discovered in sequence order, so the plan is already
+        # sorted by miss position; fetches are executed in this order.
+        self._plan = plan
+        self._next_plan_index = 0
+
+    def decide(self, view: PolicyView) -> List[FetchDecision]:
+        if not view.is_idle(0):
+            return []
+        if self._next_plan_index >= len(self._plan):
+            return []
+        planned = self._plan[self._next_plan_index]
+        if view.cursor < planned.earliest_pos:
+            return []
+        # The planned block might already be resident (e.g. warm start quirks);
+        # skip such entries defensively.
+        if view.is_available(planned.block) or view.is_in_flight(planned.block):
+            self._next_plan_index += 1
+            return self.decide(view)
+        self._next_plan_index += 1
+        victim = planned.victim
+        if victim is not None and victim not in view.resident:
+            # The victim was already evicted by a forced demand fetch; fall back
+            # to the furthest-next-use resident block to keep the run feasible.
+            victim = view.furthest_resident()
+        if victim is None and view.free_slots == 0:
+            victim = view.furthest_resident()
+        return self.single_disk_decision(planned.block, victim)

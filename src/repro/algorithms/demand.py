@@ -1,0 +1,53 @@
+"""Demand fetching: the no-prefetching baseline.
+
+The processor fetches a block only at the moment it is needed, always paying
+the full fetch time ``F`` in stall (after a cold or capacity miss).  The
+victim is chosen by a pluggable classical eviction policy (MIN by default, so
+the baseline is "optimal caching, no prefetching").  The integrated
+algorithms of the paper are motivated precisely by how much of this stall can
+be hidden by overlapping fetches with computation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..disksim.executor import FetchDecision, PolicyView
+from ..disksim.instance import ProblemInstance
+from ..paging.base import EvictionPolicy
+from ..paging.belady import BeladyMIN
+from .base import PrefetchAlgorithm
+
+__all__ = ["DemandFetch"]
+
+
+class DemandFetch(PrefetchAlgorithm):
+    """Fetch a block only when the processor already needs it.
+
+    Parameters
+    ----------
+    eviction_policy:
+        Classical eviction policy consulted on each miss; defaults to Belady's
+        MIN so the baseline isolates the effect of (not) prefetching.
+    """
+
+    def __init__(self, eviction_policy: Optional[EvictionPolicy] = None) -> None:
+        super().__init__()
+        self._policy = eviction_policy or BeladyMIN()
+        self.name = f"demand[{self._policy.name}]"
+
+    def on_reset(self, instance: ProblemInstance) -> None:
+        self._policy.reset(instance.sequence, instance.cache_size)
+
+    def decide(self, view: PolicyView) -> List[FetchDecision]:
+        cursor = view.cursor
+        block = view.instance.sequence[cursor]
+        if view.is_available(block) or view.is_in_flight(block):
+            return []
+        disk = view.instance.disk_of(block)
+        if not view.is_idle(disk):
+            return []
+        victim = None
+        if view.free_slots == 0:
+            victim = self._policy.choose_victim(cursor, set(view.resident), block)
+        return [FetchDecision(disk=disk, block=block, victim=victim)]

@@ -1,0 +1,65 @@
+"""Registry of prefetching algorithms by name.
+
+The CLI, the sweep harness and the benchmarks refer to algorithms by short
+string names ("aggressive", "delay:3", "combination", ...).  The registry
+maps those names to factories so new algorithms are picked up everywhere by
+registering them once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .aggressive import Aggressive
+from .base import PrefetchAlgorithm
+from .combination import Combination
+from .conservative import Conservative
+from .delay import Delay
+from .demand import DemandFetch
+from .parallel_aggressive import ParallelAggressive, ParallelConservative
+
+__all__ = ["available_algorithms", "make_algorithm", "register_algorithm"]
+
+_FACTORIES: Dict[str, Callable[..., PrefetchAlgorithm]] = {
+    "demand": DemandFetch,
+    "aggressive": Aggressive,
+    "conservative": Conservative,
+    "combination": Combination,
+    "parallel-aggressive": ParallelAggressive,
+    "parallel-conservative": ParallelConservative,
+}
+
+
+def register_algorithm(name: str, factory: Callable[..., PrefetchAlgorithm]) -> None:
+    """Register a new algorithm factory under ``name`` (overwrites silently)."""
+    _FACTORIES[name] = factory
+
+
+def available_algorithms() -> List[str]:
+    """Sorted list of registered algorithm names (plus the ``delay:<d>`` form)."""
+    return sorted(_FACTORIES) + ["delay:<d>"]
+
+
+def make_algorithm(spec: str) -> PrefetchAlgorithm:
+    """Instantiate an algorithm from its string spec.
+
+    ``spec`` is either a registered name (e.g. ``"aggressive"``) or the
+    parametrised form ``"delay:<d>"`` (e.g. ``"delay:3"``).
+    """
+    spec = spec.strip().lower()
+    if spec.startswith("delay:"):
+        try:
+            d = int(spec.split(":", 1)[1])
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid delay spec {spec!r}: expected delay:<int>") from exc
+        return Delay(d)
+    if spec == "delay":
+        raise ConfigurationError("the delay algorithm needs a parameter, use 'delay:<d>'")
+    try:
+        factory = _FACTORIES[spec]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown algorithm {spec!r}; available: {', '.join(available_algorithms())}"
+        ) from exc
+    return factory()

@@ -1,0 +1,25 @@
+"""Measurement harness: brute-force optima, ratio measurement, sweeps, reports."""
+
+from .compare import ScheduleDiff, diff_schedules, summarize_result
+from .optimal import BruteForceResult, brute_force_optimal_stall
+from .ratios import AlgorithmMeasurement, RatioReport, measure_parallel_stall, measure_ratios
+from .reporting import format_comparison, format_report, format_table
+from .sweep import SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "ScheduleDiff",
+    "diff_schedules",
+    "summarize_result",
+    "BruteForceResult",
+    "brute_force_optimal_stall",
+    "AlgorithmMeasurement",
+    "RatioReport",
+    "measure_parallel_stall",
+    "measure_ratios",
+    "format_comparison",
+    "format_report",
+    "format_table",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+]

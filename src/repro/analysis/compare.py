@@ -1,0 +1,72 @@
+"""Schedule comparison utilities.
+
+Used by tests and by the E10 ablation to compare two routes to (near-)optimal
+schedules: do they agree on stall time, how do their fetch counts differ, and
+where do their fetch intervals diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..disksim.executor import SimulationResult
+from ..disksim.schedule import IntervalSchedule, Schedule
+
+__all__ = ["ScheduleDiff", "diff_schedules", "summarize_result"]
+
+
+@dataclass(frozen=True)
+class ScheduleDiff:
+    """Structural comparison of two schedules of the same instance."""
+
+    stall_a: int
+    stall_b: int
+    fetches_a: int
+    fetches_b: int
+    common_fetch_blocks: int
+    only_in_a: Tuple[str, ...]
+    only_in_b: Tuple[str, ...]
+
+    @property
+    def same_stall(self) -> bool:
+        """Whether both schedules achieve the same stall time."""
+        return self.stall_a == self.stall_b
+
+
+def _fetched_blocks(schedule) -> List[str]:
+    if isinstance(schedule, Schedule):
+        return sorted(str(op.block) for op in schedule.fetches)
+    if isinstance(schedule, IntervalSchedule):
+        return sorted(str(op.block) for op in schedule.fetches)
+    raise TypeError(f"unsupported schedule type {type(schedule)!r}")
+
+
+def diff_schedules(
+    result_a: SimulationResult, result_b: SimulationResult
+) -> ScheduleDiff:
+    """Compare two executed schedules (same instance) structurally."""
+    blocks_a = _fetched_blocks(result_a.schedule)
+    blocks_b = _fetched_blocks(result_b.schedule)
+    set_a, set_b = set(blocks_a), set(blocks_b)
+    return ScheduleDiff(
+        stall_a=result_a.stall_time,
+        stall_b=result_b.stall_time,
+        fetches_a=len(blocks_a),
+        fetches_b=len(blocks_b),
+        common_fetch_blocks=len(set_a & set_b),
+        only_in_a=tuple(sorted(set_a - set_b)),
+        only_in_b=tuple(sorted(set_b - set_a)),
+    )
+
+
+def summarize_result(result: SimulationResult) -> Dict[str, object]:
+    """Small dictionary summary of a run (policy, stall, elapsed, fetches)."""
+    return {
+        "policy": result.policy_name,
+        "stall": result.stall_time,
+        "elapsed": result.elapsed_time,
+        "fetches": result.metrics.num_fetches,
+        "demand_fetches": result.metrics.num_demand_fetches,
+        "peak_cache": result.metrics.peak_cache_used,
+    }

@@ -1,0 +1,187 @@
+"""Brute-force optimal schedules for tiny instances (ground truth for tests).
+
+The LP/MILP route is the scalable way to compute optimal stall times, but it
+encodes the *synchronized* schedule class with ``k + D - 1`` cache slots.  To
+certify the Theorem 4 guarantee — stall at most ``s_OPT(sigma, k)`` of the
+*unrestricted* schedule class with exactly ``k`` slots — the tests need an
+independent oracle.  This module searches the full schedule space with a
+uniform-cost search over engine states.  It is exponential and only meant for
+instances with a handful of requests and blocks.
+
+State space
+-----------
+A state is ``(cursor, resident blocks, in-flight fetches with remaining
+times)``; the cost is accumulated stall.  Transitions advance time by one
+unit (serving the next request if possible, otherwise stalling) after
+optionally starting fetches on idle disks.  Two safe prunings keep the space
+manageable without losing optimality:
+
+* a disk only ever fetches the *next* missing block that resides on it
+  (fetching missing blocks out of reference order can be exchanged into
+  reference order without increasing stall);
+* the victim of a fetch is never a block whose next reference precedes the
+  next reference of every other resident block unless no alternative exists
+  (we still branch over all victims, but identical victim choices by next-use
+  are deduplicated).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .._typing import INFINITY, BlockId
+from ..disksim.instance import ProblemInstance
+from ..errors import ConfigurationError
+
+__all__ = ["BruteForceResult", "brute_force_optimal_stall"]
+
+#: Hard cap on explored states; exceeding it raises ConfigurationError so that
+#: callers notice they handed the brute-force oracle too large an instance.
+_MAX_STATES = 2_000_000
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Optimal stall/elapsed time certified by exhaustive search."""
+
+    stall_time: int
+    elapsed_time: int
+    explored_states: int
+
+
+def brute_force_optimal_stall(
+    instance: ProblemInstance, *, max_states: int = _MAX_STATES
+) -> BruteForceResult:
+    """Exact optimal stall time of ``instance`` over all schedules with ``k`` slots."""
+    sequence = instance.sequence
+    n = instance.num_requests
+    fetch_time = instance.fetch_time
+    num_disks = instance.num_disks
+    if n > 40:
+        raise ConfigurationError(
+            f"brute force is only intended for tiny instances (n={n} requests)"
+        )
+
+    initial_resident = frozenset(instance.initial_cache)
+    # in-flight: tuple of (disk, block, remaining) sorted for canonical form.
+    start_state = (0, initial_resident, ())
+
+    def next_missing_on_disk(cursor: int, resident: FrozenSet[BlockId], inflight_blocks, disk: int):
+        seen = set()
+        for pos in range(cursor, n):
+            block = sequence[pos]
+            if block in resident or block in inflight_blocks or block in seen:
+                continue
+            if instance.disk_of(block) != disk:
+                seen.add(block)
+                continue
+            return block
+        return None
+
+    # Uniform-cost search on accumulated stall.
+    counter = count()
+    heap: List[Tuple[int, int, Tuple]] = [(0, next(counter), start_state)]
+    best: Dict[Tuple, int] = {start_state: 0}
+    explored = 0
+
+    while heap:
+        stall, _, state = heapq.heappop(heap)
+        cursor, resident, inflight = state
+        if best.get(state, INFINITY) < stall:
+            continue
+        explored += 1
+        if explored > max_states:
+            raise ConfigurationError(
+                f"brute force exceeded {max_states} states; instance too large"
+            )
+        if cursor >= n:
+            return BruteForceResult(
+                stall_time=stall, elapsed_time=n + stall, explored_states=explored
+            )
+
+        inflight_blocks = frozenset(b for _, b, _ in inflight)
+        busy_disks = frozenset(d for d, _, _ in inflight)
+        idle_disks = [d for d in range(num_disks) if d not in busy_disks]
+
+        # Enumerate fetch-start combinations for idle disks.  Each idle disk
+        # either stays idle or starts fetching its next missing block with one
+        # of the possible victims (or a free slot).
+        def victim_options(current_resident: FrozenSet[BlockId], used: int):
+            options: List[Optional[BlockId]] = []
+            if used < instance.cache_size:
+                options.append(None)
+            # Deduplicate victims by their next use: evicting either of two
+            # blocks with the same next-use distance is equivalent.
+            seen_next_use = set()
+            for block in sorted(current_resident, key=str):
+                nu = sequence.next_use_from(cursor, block)
+                if nu in seen_next_use:
+                    continue
+                seen_next_use.add(nu)
+                options.append(block)
+            return options
+
+        combos: List[List[Tuple[int, BlockId, Optional[BlockId]]]] = [[]]
+        for disk in idle_disks:
+            target = next_missing_on_disk(cursor, resident, inflight_blocks, disk)
+            if target is None:
+                continue
+            new_combos = []
+            for combo in combos:
+                new_combos.append(combo)  # disk stays idle
+                combo_resident = resident - {v for _, _, v in combo if v is not None}
+                combo_blocks = {b for _, b, _ in combo}
+                if target in combo_blocks:
+                    continue
+                used = len(combo_resident) + len(inflight_blocks) + len(combo_blocks)
+                for victim in victim_options(combo_resident, used):
+                    new_combos.append(combo + [(disk, target, victim)])
+            combos = new_combos
+
+        for combo in combos:
+            new_resident = set(resident)
+            new_inflight = list(inflight)
+            ok = True
+            for disk, block, victim in combo:
+                if victim is not None:
+                    if victim not in new_resident:
+                        ok = False
+                        break
+                    new_resident.discard(victim)
+                new_inflight.append((disk, block, fetch_time))
+            if not ok:
+                continue
+            if len(new_resident) + len(new_inflight) > instance.cache_size:
+                continue
+
+            # Advance one time step: serve if possible, else stall one unit.
+            block_needed = sequence[cursor]
+            serving = block_needed in new_resident
+            extra_stall = 0 if serving else 1
+            stepped_inflight = []
+            completed = []
+            for disk, block, remaining in new_inflight:
+                remaining -= 1
+                if remaining <= 0:
+                    completed.append(block)
+                else:
+                    stepped_inflight.append((disk, block, remaining))
+            stepped_resident = frozenset(new_resident | set(completed))
+            new_cursor = cursor + 1 if serving else cursor
+            if not serving and not new_inflight:
+                # Stalling with no fetch in progress can never help.
+                continue
+            new_state = (
+                new_cursor,
+                stepped_resident,
+                tuple(sorted(stepped_inflight, key=lambda item: (item[0], str(item[1])))),
+            )
+            new_cost = stall + extra_stall
+            if best.get(new_state, INFINITY) > new_cost:
+                best[new_state] = new_cost
+                heapq.heappush(heap, (new_cost, next(counter), new_state))
+
+    raise ConfigurationError("brute force search exhausted the state space without finishing")

@@ -1,0 +1,152 @@
+"""Measured approximation ratios of prefetching algorithms against the optimum.
+
+The Section 2 experiments all reduce to the same measurement: run one or more
+algorithms over an instance, compute the optimal elapsed (or stall) time with
+the LP machinery, and report the ratios next to the theoretical bounds.  This
+module provides that measurement as reusable functions returning plain
+dataclasses the reporting layer can tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..algorithms.base import PrefetchAlgorithm
+from ..core.bounds import SingleDiskBounds
+from ..disksim.executor import SimulationResult, simulate
+from ..disksim.instance import ProblemInstance
+from ..errors import ConfigurationError
+from ..lp.parallel import optimal_parallel_schedule
+from ..lp.single_disk import optimal_single_disk
+
+__all__ = ["AlgorithmMeasurement", "RatioReport", "measure_ratios", "measure_parallel_stall"]
+
+
+@dataclass(frozen=True)
+class AlgorithmMeasurement:
+    """One algorithm's performance on one instance."""
+
+    algorithm: str
+    stall_time: int
+    elapsed_time: int
+    num_fetches: int
+    elapsed_ratio: float
+    stall_ratio: float
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Measured ratios of several algorithms on one instance, plus the bounds."""
+
+    instance_description: str
+    optimal_stall: int
+    optimal_elapsed: int
+    measurements: tuple
+    bounds: Optional[SingleDiskBounds] = None
+
+    def measurement(self, algorithm: str) -> AlgorithmMeasurement:
+        """The measurement row for ``algorithm`` (exact name match)."""
+        for m in self.measurements:
+            if m.algorithm == algorithm:
+                return m
+        raise KeyError(f"no measurement for algorithm {algorithm!r}")
+
+    def worst_elapsed_ratio(self) -> float:
+        """Largest elapsed-time ratio across all measured algorithms."""
+        return max(m.elapsed_ratio for m in self.measurements)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Row dictionaries for the reporting table helpers."""
+        rows = []
+        for m in self.measurements:
+            row = {
+                "algorithm": m.algorithm,
+                "stall": m.stall_time,
+                "elapsed": m.elapsed_time,
+                "fetches": m.num_fetches,
+                "elapsed_ratio": round(m.elapsed_ratio, 4),
+                "stall_ratio": round(m.stall_ratio, 4),
+            }
+            rows.append(row)
+        return rows
+
+
+def _ratio(value: int, reference: int) -> float:
+    if reference == 0:
+        return 1.0 if value == 0 else float("inf")
+    return value / reference
+
+
+def measure_ratios(
+    instance: ProblemInstance,
+    algorithms: Sequence[PrefetchAlgorithm],
+    *,
+    optimal_elapsed: Optional[int] = None,
+    optimal_stall: Optional[int] = None,
+) -> RatioReport:
+    """Run ``algorithms`` on a single-disk ``instance`` and compare to the optimum.
+
+    The optimum is computed with the LP machinery unless both reference values
+    are supplied (the adversarial experiments pass the analytically known
+    optimum to avoid re-solving the LP on large constructions).
+    """
+    if instance.num_disks != 1:
+        raise ConfigurationError("measure_ratios handles single-disk instances; use "
+                                 "measure_parallel_stall for D > 1")
+    if optimal_elapsed is None or optimal_stall is None:
+        optimum = optimal_single_disk(instance)
+        optimal_elapsed = optimum.elapsed_time
+        optimal_stall = optimum.stall_time
+
+    measurements = []
+    for algorithm in algorithms:
+        result: SimulationResult = simulate(instance, algorithm)
+        measurements.append(
+            AlgorithmMeasurement(
+                algorithm=result.policy_name,
+                stall_time=result.stall_time,
+                elapsed_time=result.elapsed_time,
+                num_fetches=result.metrics.num_fetches,
+                elapsed_ratio=_ratio(result.elapsed_time, optimal_elapsed),
+                stall_ratio=_ratio(result.stall_time, optimal_stall),
+            )
+        )
+    return RatioReport(
+        instance_description=instance.describe(),
+        optimal_stall=optimal_stall,
+        optimal_elapsed=optimal_elapsed,
+        measurements=tuple(measurements),
+        bounds=SingleDiskBounds(instance.cache_size, instance.fetch_time),
+    )
+
+
+def measure_parallel_stall(
+    instance: ProblemInstance,
+    algorithms: Sequence[PrefetchAlgorithm],
+    *,
+    method: str = "auto",
+) -> RatioReport:
+    """Run ``algorithms`` on a parallel-disk instance and compare stall times
+    against the Theorem 4 schedule (which is itself at most the optimum)."""
+    optimum = optimal_parallel_schedule(instance, method=method)
+    measurements = []
+    for algorithm in algorithms:
+        result = simulate(instance, algorithm)
+        measurements.append(
+            AlgorithmMeasurement(
+                algorithm=result.policy_name,
+                stall_time=result.stall_time,
+                elapsed_time=result.elapsed_time,
+                num_fetches=result.metrics.num_fetches,
+                elapsed_ratio=_ratio(result.elapsed_time, optimum.elapsed_time),
+                stall_ratio=_ratio(result.stall_time, max(optimum.stall_time, 0)),
+            )
+        )
+    return RatioReport(
+        instance_description=instance.describe(),
+        optimal_stall=optimum.stall_time,
+        optimal_elapsed=optimum.elapsed_time,
+        measurements=tuple(measurements),
+        bounds=None,
+    )

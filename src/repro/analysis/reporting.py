@@ -1,0 +1,93 @@
+"""Plain-text tables for experiment output.
+
+The benchmarks print their results as aligned text tables (the paper has no
+figures to re-plot, so tables are the native output format of every
+experiment).  Only the standard library is used; the helpers accept the row
+dictionaries produced by :mod:`repro.analysis.ratios` and
+:mod:`repro.analysis.sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_report", "format_comparison"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_precision: int = 3,
+) -> str:
+    """Render ``rows`` (dictionaries) as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_precision}f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[idx]) for r in rendered)) for idx, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[idx]) for idx, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def format_report(report, *, title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.analysis.ratios.RatioReport` as a table."""
+    header = title or f"instance: {report.instance_description}"
+    lines = [
+        header,
+        f"optimal stall = {report.optimal_stall}, optimal elapsed = {report.optimal_elapsed}",
+    ]
+    if report.bounds is not None:
+        b = report.bounds
+        lines.append(
+            "bounds: aggressive(Thm1)="
+            f"{b.aggressive_refined:.3f} (Cao et al. {b.aggressive_cao:.3f}), "
+            f"lower(Thm2)={b.aggressive_lower:.3f}, delay(d0={b.best_delay})={b.delay_best:.3f}, "
+            f"combination={b.combination:.3f}"
+        )
+    lines.append(format_table(report.as_rows()))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    x_label: str = "point",
+    title: Optional[str] = None,
+    float_precision: int = 3,
+) -> str:
+    """Render several named series over the same x-axis as one table.
+
+    ``series`` maps a series name (e.g. an algorithm) to a mapping from grid
+    point label to value.  Used by the sweep benchmarks to print ratio curves.
+    """
+    labels: List[str] = []
+    for values in series.values():
+        for label in values:
+            if label not in labels:
+                labels.append(label)
+    rows = []
+    for label in labels:
+        row: Dict[str, object] = {x_label: label}
+        for name, values in series.items():
+            if label in values:
+                row[name] = values[label]
+        rows.append(row)
+    return format_table(rows, title=title, float_precision=float_precision)

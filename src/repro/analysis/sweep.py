@@ -1,0 +1,96 @@
+"""Parameter sweeps over (k, F, D, workload) — the engine behind the benchmarks.
+
+A sweep runs a set of algorithms over a grid of instances and collects one
+:class:`~repro.analysis.ratios.RatioReport` per grid point.  The benchmark
+scripts only have to declare the grid; tabulation and aggregation live here
+so experiment output stays uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import PrefetchAlgorithm
+from ..disksim.instance import ProblemInstance
+from .ratios import RatioReport, measure_parallel_stall, measure_ratios
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: a label, an instance and optional references."""
+
+    label: str
+    instance: ProblemInstance
+    optimal_elapsed: Optional[int] = None
+    optimal_stall: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All reports of a sweep, keyed by the grid point labels."""
+
+    reports: Dict[str, RatioReport]
+
+    def labels(self) -> List[str]:
+        """Grid point labels in insertion order."""
+        return list(self.reports)
+
+    def ratios_for(self, algorithm: str) -> Dict[str, float]:
+        """Elapsed-time ratio of ``algorithm`` at every grid point."""
+        out = {}
+        for label, report in self.reports.items():
+            try:
+                out[label] = report.measurement(algorithm).elapsed_ratio
+            except KeyError:
+                continue
+        return out
+
+    def max_ratio_for(self, algorithm: str) -> float:
+        """Worst elapsed-time ratio of ``algorithm`` over the sweep."""
+        ratios = self.ratios_for(algorithm)
+        return max(ratios.values()) if ratios else float("nan")
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat row dictionaries (one per algorithm per grid point)."""
+        rows: List[Dict[str, object]] = []
+        for label, report in self.reports.items():
+            for row in report.as_rows():
+                rows.append(
+                    {
+                        "point": label,
+                        "opt_stall": report.optimal_stall,
+                        "opt_elapsed": report.optimal_elapsed,
+                        **row,
+                    }
+                )
+        return rows
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    algorithm_factory: Callable[[], Sequence[PrefetchAlgorithm]],
+    *,
+    parallel: bool = False,
+) -> SweepResult:
+    """Measure every algorithm produced by ``algorithm_factory`` at every point.
+
+    A fresh set of algorithm objects is created per point because algorithms
+    carry per-run state (Conservative's MIN plan, Combination's delegate).
+    """
+    reports: Dict[str, RatioReport] = {}
+    for point in points:
+        algorithms = algorithm_factory()
+        if parallel:
+            report = measure_parallel_stall(point.instance, algorithms)
+        else:
+            report = measure_ratios(
+                point.instance,
+                algorithms,
+                optimal_elapsed=point.optimal_elapsed,
+                optimal_stall=point.optimal_stall,
+            )
+        reports[point.label] = report
+    return SweepResult(reports=reports)

@@ -1,0 +1,220 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``  — run one algorithm on a workload and print metrics (optionally
+                a Gantt chart / timeline).
+``compare``   — run several algorithms on the same workload and print their
+                measured ratios against the LP optimum.
+``lowerbound``— build the Theorem 2 adversarial instance and report
+                Aggressive's measured ratio next to the theoretical bound.
+``bounds``    — print the Section 2 bound formulas for a (k, F) grid.
+
+Workload specs are small strings like ``zipf:n=200,blocks=50,skew=0.8`` or
+``trace:path=/tmp/trace.txt`` so common experiments can be run without
+writing Python; anything more elaborate should use the library API directly
+(see the examples/ directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .algorithms import make_algorithm
+from .analysis.ratios import measure_parallel_stall, measure_ratios
+from .analysis.reporting import format_report, format_table
+from .core.bounds import SingleDiskBounds
+from .disksim.executor import simulate
+from .disksim.instance import ProblemInstance
+from .errors import ConfigurationError, ReproError
+from .viz.gantt import render_gantt
+from .viz.timeline import render_timeline
+from .workloads import (
+    cao_f_ge_k_sequence,
+    database_join_trace,
+    file_scan_trace,
+    load_trace,
+    looping_scan,
+    multimedia_stream_trace,
+    sequential_scan,
+    theorem2_sequence,
+    uniform_random,
+    zipf,
+)
+from .workloads.multidisk import striped_instance
+
+__all__ = ["main", "build_parser", "parse_workload"]
+
+_WORKLOAD_BUILDERS = {
+    "zipf": lambda p: zipf(
+        int(p.get("n", 200)), int(p.get("blocks", 50)), skew=float(p.get("skew", 1.0)),
+        seed=int(p.get("seed", 0)),
+    ),
+    "uniform": lambda p: uniform_random(
+        int(p.get("n", 200)), int(p.get("blocks", 50)), seed=int(p.get("seed", 0))
+    ),
+    "loop": lambda p: looping_scan(int(p.get("blocks", 20)), int(p.get("loops", 5))),
+    "scan": lambda p: sequential_scan(int(p.get("blocks", 100))),
+    "filescan": lambda p: file_scan_trace(
+        int(p.get("files", 4)), int(p.get("blocks", 25)), rescans=int(p.get("rescans", 1))
+    ),
+    "join": lambda p: database_join_trace(
+        int(p.get("outer", 8)), int(p.get("inner", 12)),
+    ),
+    "stream": lambda p: multimedia_stream_trace(
+        int(p.get("streams", 3)), int(p.get("blocks", 40))
+    ),
+    "trace": lambda p: load_trace(p["path"]),
+}
+
+
+def parse_workload(spec: str):
+    """Parse a workload spec string into a request sequence."""
+    name, _, params_text = spec.partition(":")
+    params: Dict[str, str] = {}
+    if params_text:
+        for item in params_text.split(","):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            params[key.strip()] = value.strip()
+    builder = _WORKLOAD_BUILDERS.get(name.strip().lower())
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(_WORKLOAD_BUILDERS))}"
+        )
+    return builder(params)
+
+
+def _make_instance(args: argparse.Namespace) -> ProblemInstance:
+    sequence = parse_workload(args.workload)
+    if args.disks > 1:
+        return striped_instance(sequence, args.cache_size, args.fetch_time, args.disks)
+    return ProblemInstance.single_disk(sequence, args.cache_size, args.fetch_time)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Integrated prefetching and caching (Albers & Büttner) — simulator and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", "-w", default="zipf:n=200,blocks=50",
+                       help="workload spec, e.g. zipf:n=200,blocks=50,skew=0.8")
+        p.add_argument("--cache-size", "-k", type=int, default=16)
+        p.add_argument("--fetch-time", "-F", type=int, default=8)
+        p.add_argument("--disks", "-D", type=int, default=1)
+
+    p_sim = sub.add_parser("simulate", help="run one algorithm and print metrics")
+    add_common(p_sim)
+    p_sim.add_argument("--algorithm", "-a", default="aggressive")
+    p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_sim.add_argument("--timeline", action="store_true", help="print the event timeline")
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms against the optimum")
+    add_common(p_cmp)
+    p_cmp.add_argument(
+        "--algorithms", "-a", default="aggressive,conservative,combination,demand",
+        help="comma-separated algorithm specs",
+    )
+
+    p_lb = sub.add_parser("lowerbound", help="run the Theorem 2 adversarial construction")
+    p_lb.add_argument("--cache-size", "-k", type=int, default=13)
+    p_lb.add_argument("--fetch-time", "-F", type=int, default=4)
+    p_lb.add_argument("--phases", type=int, default=6)
+
+    p_bounds = sub.add_parser("bounds", help="print the Section 2 bound formulas")
+    p_bounds.add_argument("--cache-sizes", default="8,16,32,64")
+    p_bounds.add_argument("--fetch-times", default="2,4,8,16")
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    instance = _make_instance(args)
+    algorithm = make_algorithm(args.algorithm)
+    result = simulate(instance, algorithm)
+    print(f"instance: {instance.describe()}")
+    print(f"algorithm: {result.policy_name}")
+    rows = [result.metrics.as_dict()]
+    print(format_table(rows, columns=[
+        "num_requests", "stall_time", "elapsed_time", "num_fetches",
+        "num_demand_fetches", "hit_rate", "peak_cache_used",
+    ]))
+    if args.gantt:
+        print()
+        print(render_gantt(result))
+    if args.timeline:
+        print()
+        print(render_timeline(result, limit=200))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = _make_instance(args)
+    algorithms = [make_algorithm(spec) for spec in args.algorithms.split(",") if spec]
+    if instance.num_disks > 1:
+        report = measure_parallel_stall(instance, algorithms)
+    else:
+        report = measure_ratios(instance, algorithms)
+    print(format_report(report))
+    return 0
+
+
+def _cmd_lowerbound(args: argparse.Namespace) -> int:
+    from .algorithms import Aggressive
+
+    construction = theorem2_sequence(args.cache_size, args.fetch_time, args.phases)
+    result = simulate(construction.instance, Aggressive())
+    bounds = SingleDiskBounds(args.cache_size, args.fetch_time)
+    print(f"instance: {construction.instance.describe()}")
+    print(format_table([
+        {
+            "phases": construction.num_phases,
+            "aggressive_elapsed": result.elapsed_time,
+            "predicted_aggressive": construction.num_phases
+            * construction.aggressive_time_per_phase,
+            "predicted_optimal": construction.num_phases * construction.optimal_time_per_phase,
+            "predicted_ratio": round(construction.predicted_ratio, 4),
+            "thm2_bound": round(bounds.aggressive_lower, 4),
+            "thm1_bound": round(bounds.aggressive_refined, 4),
+        }
+    ]))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    cache_sizes = [int(v) for v in args.cache_sizes.split(",") if v]
+    fetch_times = [int(v) for v in args.fetch_times.split(",") if v]
+    rows = []
+    for k in cache_sizes:
+        for fetch_time in fetch_times:
+            rows.append(SingleDiskBounds(k, fetch_time).as_dict())
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "lowerbound": _cmd_lowerbound,
+        "bounds": _cmd_bounds,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Theory toolkit: the paper's closed-form bounds, the dominance machinery of
+the Section 2 proofs, phase partitions, and the synchronized-schedule notions
+of Section 3."""
+
+from .bounds import (
+    SQRT3,
+    SingleDiskBounds,
+    aggressive_bound_cao,
+    aggressive_bound_refined,
+    aggressive_lower_bound,
+    best_delay_parameter,
+    combination_bound,
+    conservative_bound,
+    delay_best_bound,
+    delay_bound,
+)
+from .dominance import AlgorithmState, dominates, hole_positions, state_of
+from .phases import PhaseBreakdown, phase_boundaries, phase_breakdown, phase_length
+from .synchronized import (
+    SynchronizedComparison,
+    compare_synchronized_to_optimal,
+    is_fully_synchronized,
+    is_synchronized,
+    proper_intersections,
+)
+
+__all__ = [
+    "SQRT3",
+    "SingleDiskBounds",
+    "aggressive_bound_cao",
+    "aggressive_bound_refined",
+    "aggressive_lower_bound",
+    "best_delay_parameter",
+    "combination_bound",
+    "conservative_bound",
+    "delay_best_bound",
+    "delay_bound",
+    "AlgorithmState",
+    "dominates",
+    "hole_positions",
+    "state_of",
+    "PhaseBreakdown",
+    "phase_boundaries",
+    "phase_breakdown",
+    "phase_length",
+    "SynchronizedComparison",
+    "compare_synchronized_to_optimal",
+    "is_fully_synchronized",
+    "is_synchronized",
+    "proper_intersections",
+]

@@ -1,0 +1,166 @@
+"""Closed-form approximation bounds proved in the paper (Section 2).
+
+These are the quantitative claims of Theorems 1–3 and Corollaries 1–2 as pure
+functions of the model parameters ``k`` (cache size), ``F`` (fetch time) and
+``d`` (delay parameter).  The experiments compare *measured* approximation
+ratios of the executable algorithms against these formulas; the property
+tests check structural facts the paper states about them (monotonicity, the
+√3 limit, Combination dominating both classical algorithms, the new Theorem 1
+bound improving on the original Cao et al. bound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "aggressive_bound_cao",
+    "aggressive_bound_refined",
+    "aggressive_lower_bound",
+    "delay_bound",
+    "best_delay_parameter",
+    "delay_best_bound",
+    "combination_bound",
+    "conservative_bound",
+    "SingleDiskBounds",
+]
+
+SQRT3 = math.sqrt(3.0)
+
+
+def _validate(k: int, fetch_time: int) -> None:
+    if k < 1:
+        raise ConfigurationError(f"cache size k must be >= 1, got {k}")
+    if fetch_time < 1:
+        raise ConfigurationError(f"fetch time F must be >= 1, got {fetch_time}")
+
+
+def aggressive_bound_cao(k: int, fetch_time: int) -> float:
+    """Original Cao et al. upper bound for Aggressive: ``min{1 + F/k, 2}``."""
+    _validate(k, fetch_time)
+    return min(1.0 + fetch_time / k, 2.0)
+
+
+def aggressive_bound_refined(k: int, fetch_time: int) -> float:
+    """Theorem 1: Aggressive's ratio is at most ``min{1 + F/(k + ceil(k/F) - 1), 2}``.
+
+    The refinement adds ``ceil(k/F) - 1`` to the denominator of the Cao et al.
+    bound; it therefore never exceeds :func:`aggressive_bound_cao`.
+    """
+    _validate(k, fetch_time)
+    denominator = k + math.ceil(k / fetch_time) - 1
+    return min(1.0 + fetch_time / denominator, 2.0)
+
+
+def aggressive_lower_bound(k: int, fetch_time: int) -> float:
+    """Theorem 2: Aggressive's ratio is in general not smaller than
+    ``min{1 + F/(k + (k-1)/(F-1)), 2}`` (for ``F > 1``).
+
+    For ``F = 1`` prefetching is trivial (every fetch can be fully hidden
+    behind a single request) and the lower bound degenerates to 1.
+    """
+    _validate(k, fetch_time)
+    if fetch_time == 1:
+        return 1.0
+    denominator = k + (k - 1) / (fetch_time - 1)
+    return min(1.0 + fetch_time / denominator, 2.0)
+
+
+def conservative_bound() -> float:
+    """Cao et al.: Conservative is a (tight) 2-approximation for elapsed time."""
+    return 2.0
+
+
+def delay_bound(d: int, fetch_time: int) -> float:
+    """Theorem 3: Delay(d)'s approximation ratio is at most
+    ``max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)}``."""
+    if d < 0:
+        raise ConfigurationError(f"delay d must be non-negative, got {d}")
+    if fetch_time < 1:
+        raise ConfigurationError(f"fetch time F must be >= 1, got {fetch_time}")
+    f = float(fetch_time)
+    return max((d + f) / f, (d + 2 * f) / (d + f), 3 * (d + f) / (d + 2 * f))
+
+
+def best_delay_parameter(fetch_time: int) -> int:
+    """Corollary 1's choice ``d0 = ceil((sqrt(3) - 1) / 2 * F)``."""
+    if fetch_time < 1:
+        raise ConfigurationError(f"fetch time F must be >= 1, got {fetch_time}")
+    return math.ceil((SQRT3 - 1.0) / 2.0 * fetch_time)
+
+
+def delay_best_bound(fetch_time: int) -> float:
+    """The ratio of Delay(d0) with the Corollary 1 parameter; tends to √3 as F grows."""
+    return delay_bound(best_delay_parameter(fetch_time), fetch_time)
+
+
+def combination_bound(k: int, fetch_time: int) -> float:
+    """Corollary 2: the Combination algorithm achieves
+    ``min{1 + F/(k + ceil(k/F) - 1), ratio(Delay(d0))}`` which tends to
+    ``min{1 + F/(k + ceil(k/F) - 1), sqrt(3)}``."""
+    return min(aggressive_bound_refined(k, fetch_time), delay_best_bound(fetch_time))
+
+
+@dataclass(frozen=True)
+class SingleDiskBounds:
+    """All Section 2 bounds evaluated for one ``(k, F)`` pair.
+
+    Convenience container used by the reporting code so a single row of an
+    experiment table can show every theoretical value next to the measured
+    ratios.
+    """
+
+    cache_size: int
+    fetch_time: int
+
+    @property
+    def aggressive_cao(self) -> float:
+        """``min{1 + F/k, 2}`` (Cao et al.)."""
+        return aggressive_bound_cao(self.cache_size, self.fetch_time)
+
+    @property
+    def aggressive_refined(self) -> float:
+        """Theorem 1 upper bound."""
+        return aggressive_bound_refined(self.cache_size, self.fetch_time)
+
+    @property
+    def aggressive_lower(self) -> float:
+        """Theorem 2 lower bound."""
+        return aggressive_lower_bound(self.cache_size, self.fetch_time)
+
+    @property
+    def conservative(self) -> float:
+        """Conservative's (tight) ratio of 2."""
+        return conservative_bound()
+
+    @property
+    def best_delay(self) -> int:
+        """Corollary 1's delay parameter d0."""
+        return best_delay_parameter(self.fetch_time)
+
+    @property
+    def delay_best(self) -> float:
+        """Ratio bound of Delay(d0)."""
+        return delay_best_bound(self.fetch_time)
+
+    @property
+    def combination(self) -> float:
+        """Corollary 2 bound for the Combination algorithm."""
+        return combination_bound(self.cache_size, self.fetch_time)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for report tables."""
+        return {
+            "k": self.cache_size,
+            "F": self.fetch_time,
+            "aggressive_cao": self.aggressive_cao,
+            "aggressive_refined": self.aggressive_refined,
+            "aggressive_lower": self.aggressive_lower,
+            "conservative": self.conservative,
+            "d0": self.best_delay,
+            "delay_best": self.delay_best,
+            "combination": self.combination,
+        }

@@ -1,0 +1,46 @@
+"""Single- and parallel-disk prefetching/caching simulator (the model substrate).
+
+This subpackage implements the Cao–Felten–Karlin–Li model used by the paper:
+request sequences, cache state with fetch reservations, disk layouts, schedule
+representations, the simulation engine and the schedule validator, plus the
+metrics and event log every experiment consumes.
+"""
+
+from .cache import CacheState
+from .disk import DiskLayout
+from .events import Event, EventKind, EventLog
+from .executor import (
+    FetchDecision,
+    PolicyView,
+    PrefetchPolicy,
+    SimulationResult,
+    execute_interval_schedule,
+    execute_schedule,
+    simulate,
+)
+from .instance import ProblemInstance
+from .metrics import SimMetrics
+from .schedule import IntervalFetch, IntervalSchedule, Schedule, TimedFetch
+from .sequence import RequestSequence
+
+__all__ = [
+    "CacheState",
+    "DiskLayout",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FetchDecision",
+    "PolicyView",
+    "PrefetchPolicy",
+    "SimulationResult",
+    "execute_interval_schedule",
+    "execute_schedule",
+    "simulate",
+    "ProblemInstance",
+    "SimMetrics",
+    "IntervalFetch",
+    "IntervalSchedule",
+    "Schedule",
+    "TimedFetch",
+    "RequestSequence",
+]

@@ -1,0 +1,147 @@
+"""Cache state shared by the simulator and the schedule executor.
+
+The cache holds at most ``capacity`` blocks.  Following the Cao et al. model,
+initiating a fetch immediately evicts the victim (it becomes unavailable from
+that moment) and *reserves* a slot for the incoming block, which only becomes
+available — *resident* — when the fetch completes ``F`` time units later.
+:class:`CacheState` therefore tracks two disjoint sets:
+
+* ``resident``  — blocks that can serve requests right now;
+* ``incoming``  — blocks whose fetch is in flight (slot reserved, not usable).
+
+The invariant ``|resident| + |incoming| <= capacity`` holds at all times.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set
+
+from .._typing import BlockId
+from ..errors import CacheError, ConfigurationError
+
+__all__ = ["CacheState"]
+
+
+class CacheState:
+    """Mutable cache state with explicit fetch-reservation semantics."""
+
+    __slots__ = ("_capacity", "_resident", "_incoming")
+
+    def __init__(self, capacity: int, initial: Iterable[BlockId] = ()):
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        initial_set: Set[BlockId] = set(initial)
+        if len(initial_set) > capacity:
+            raise ConfigurationError(
+                f"initial cache holds {len(initial_set)} blocks, capacity is {capacity}"
+            )
+        self._capacity = capacity
+        self._resident: Set[BlockId] = initial_set
+        self._incoming: Set[BlockId] = set()
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of blocks (resident plus in flight)."""
+        return self._capacity
+
+    @property
+    def resident(self) -> FrozenSet[BlockId]:
+        """Blocks currently available to serve requests."""
+        return frozenset(self._resident)
+
+    @property
+    def incoming(self) -> FrozenSet[BlockId]:
+        """Blocks whose fetch is in flight (slot reserved, not yet usable)."""
+        return frozenset(self._incoming)
+
+    @property
+    def used_slots(self) -> int:
+        """Occupied slots (resident plus reserved)."""
+        return len(self._resident) + len(self._incoming)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots that can accept a fetch without evicting anything."""
+        return self._capacity - self.used_slots
+
+    def contains(self, block: BlockId) -> bool:
+        """Whether ``block`` is resident (usable right now)."""
+        return block in self._resident
+
+    def is_incoming(self, block: BlockId) -> bool:
+        """Whether a fetch for ``block`` is currently in flight."""
+        return block in self._incoming
+
+    def __contains__(self, block: BlockId) -> bool:
+        return block in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    # -- transitions ----------------------------------------------------------------
+
+    def start_fetch(self, block: BlockId, victim: Optional[BlockId]) -> None:
+        """Reserve a slot for ``block``, evicting ``victim`` (or using a free slot).
+
+        Raises
+        ------
+        CacheError
+            If ``block`` is already resident or in flight, if ``victim`` is not
+            resident, or if ``victim is None`` but the cache has no free slot.
+        """
+        if block in self._resident:
+            raise CacheError(f"cannot fetch block {block!r}: already resident")
+        if block in self._incoming:
+            raise CacheError(f"cannot fetch block {block!r}: fetch already in flight")
+        if victim is None:
+            if self.free_slots <= 0:
+                raise CacheError(
+                    "cannot start fetch without victim: cache is full "
+                    f"({self.used_slots}/{self._capacity} slots used)"
+                )
+        else:
+            if victim not in self._resident:
+                raise CacheError(f"victim {victim!r} is not resident")
+            if victim == block:
+                raise CacheError(f"victim and fetched block are identical ({block!r})")
+            self._resident.discard(victim)
+        self._incoming.add(block)
+
+    def complete_fetch(self, block: BlockId) -> None:
+        """Mark an in-flight fetch for ``block`` as completed (block becomes resident)."""
+        if block not in self._incoming:
+            raise CacheError(f"no in-flight fetch for block {block!r}")
+        self._incoming.discard(block)
+        self._resident.add(block)
+
+    def evict(self, block: BlockId) -> None:
+        """Remove a resident block without starting a fetch (frees a slot).
+
+        Used by the Lemma 3 synchronized-schedule transformation, which evicts
+        padding blocks at the end of a fetch interval.
+        """
+        if block not in self._resident:
+            raise CacheError(f"cannot evict {block!r}: not resident")
+        self._resident.discard(block)
+
+    def insert(self, block: BlockId) -> None:
+        """Insert a block directly (no fetch); used for warm-start setup only."""
+        if block in self._resident or block in self._incoming:
+            raise CacheError(f"block {block!r} already present")
+        if self.free_slots <= 0:
+            raise CacheError("cache full; cannot insert")
+        self._resident.add(block)
+
+    def copy(self) -> "CacheState":
+        """An independent copy of the current state."""
+        clone = CacheState(self._capacity, self._resident)
+        clone._incoming = set(self._incoming)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"CacheState(capacity={self._capacity}, resident={sorted(map(str, self._resident))}, "
+            f"incoming={sorted(map(str, self._incoming))})"
+        )

@@ -1,0 +1,702 @@
+"""The simulation engine: drives policies and validates schedules.
+
+This module implements the integer time model of the Cao et al. framework
+(see DESIGN.md §3) exactly once, and exposes it in three forms:
+
+* :func:`simulate` — drive a *prefetching policy* (Aggressive, Conservative,
+  Delay(d), ...) over a :class:`~repro.disksim.instance.ProblemInstance`,
+  producing a :class:`SimulationResult` with the schedule the policy chose,
+  its metrics and a full event log.
+
+* :func:`execute_interval_schedule` — replay a position-anchored
+  :class:`~repro.disksim.schedule.IntervalSchedule` (the output format of the
+  Section 3 LP algorithms), independently verifying feasibility and measuring
+  the *actual* stall time the schedule incurs.
+
+* :func:`execute_schedule` — replay a clock-anchored
+  :class:`~repro.disksim.schedule.Schedule` (the output of :func:`simulate`);
+  used by tests to confirm that re-executing a policy's own schedule
+  reproduces the policy's reported metrics, i.e. no algorithm can mis-account
+  its stall time.
+
+Model recap
+-----------
+Serving a resident request takes one time unit.  A fetch started at time
+``t`` completes at ``t + F``; the fetched block can serve requests that start
+at time ``>= t + F``; the victim is unavailable from ``t`` on.  Each disk runs
+at most one fetch at a time.  If the next request's block is absent, the
+processor stalls (all in-flight fetches keep progressing during the stall).
+
+Decision points
+---------------
+Policies are consulted (a) immediately before each request is served and
+(b) at every fetch-completion instant, including completions that occur in
+the middle of a stall — stalls are advanced in completion-sized chunks so
+that an idle disk can start its next fetch as soon as it becomes free, which
+is what the parallel-disk algorithms of Section 3 and of Kimbrel–Karlin
+assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Protocol, Tuple, runtime_checkable
+
+from .._typing import BlockId, DiskId
+from ..errors import InvalidScheduleError, PolicyError
+from .cache import CacheState
+from .events import Event, EventKind, EventLog
+from .instance import ProblemInstance
+from .metrics import SimMetrics
+from .schedule import IntervalSchedule, Schedule, TimedFetch
+
+__all__ = [
+    "FetchDecision",
+    "PolicyView",
+    "PrefetchPolicy",
+    "SimulationResult",
+    "simulate",
+    "execute_schedule",
+    "execute_interval_schedule",
+]
+
+
+@dataclass(frozen=True)
+class FetchDecision:
+    """A policy's decision to start one fetch right now.
+
+    ``victim=None`` means "use a free cache slot"; this is only legal when the
+    cache is not full, which ordinary ``k``-slot algorithms never rely on but
+    the Section 3 extra-memory schedules do.
+    """
+
+    disk: DiskId
+    block: BlockId
+    victim: Optional[BlockId] = None
+
+
+class PolicyView:
+    """Read-only snapshot of the simulation state handed to policies.
+
+    Policies receive full knowledge of the instance (the problem is offline)
+    plus the dynamic state: the clock, the cursor (index of the next request
+    to serve), the resident and in-flight block sets, and which disks are
+    idle.  The view exposes the handful of derived queries that the classical
+    algorithms are phrased in terms of (next missing block, furthest-future
+    resident block, ...).
+    """
+
+    __slots__ = ("instance", "time", "cursor", "resident", "incoming", "busy_disks", "free_slots")
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        time: int,
+        cursor: int,
+        resident: FrozenSet[BlockId],
+        incoming: FrozenSet[BlockId],
+        busy_disks: FrozenSet[DiskId],
+        free_slots: int,
+    ):
+        self.instance = instance
+        self.time = time
+        self.cursor = cursor
+        self.resident = resident
+        self.incoming = incoming
+        self.busy_disks = busy_disks
+        self.free_slots = free_slots
+
+    # -- disk state -----------------------------------------------------------------
+
+    def idle_disks(self) -> Tuple[DiskId, ...]:
+        """Disks currently not executing a fetch."""
+        return tuple(
+            d for d in range(self.instance.num_disks) if d not in self.busy_disks
+        )
+
+    def is_idle(self, disk: DiskId) -> bool:
+        """Whether ``disk`` is currently idle."""
+        return disk not in self.busy_disks
+
+    # -- block/position queries -------------------------------------------------------
+
+    def is_available(self, block: BlockId) -> bool:
+        """Whether ``block`` is resident right now."""
+        return block in self.resident
+
+    def is_in_flight(self, block: BlockId) -> bool:
+        """Whether a fetch for ``block`` is currently executing."""
+        return block in self.incoming
+
+    def next_missing_position(self, on_disk: Optional[DiskId] = None) -> Optional[int]:
+        """Position of the next request whose block is neither resident nor in flight.
+
+        When ``on_disk`` is given, only blocks residing on that disk are
+        considered (the per-disk notion used by the parallel Aggressive
+        algorithm).  Returns ``None`` when no such request exists.
+        """
+        seq = self.instance.sequence
+        present = self.resident | self.incoming
+        skipped = set()
+        for pos in range(self.cursor, len(seq)):
+            block = seq[pos]
+            if block in present or block in skipped:
+                continue
+            if on_disk is not None and self.instance.disk_of(block) != on_disk:
+                skipped.add(block)
+                continue
+            return pos
+        return None
+
+    def next_use(self, block: BlockId, from_position: Optional[int] = None) -> int:
+        """Next position ``>= from_position`` (default: cursor) requesting ``block``."""
+        start = self.cursor if from_position is None else from_position
+        return self.instance.sequence.next_use_from(start, block)
+
+    def furthest_resident(
+        self, from_position: Optional[int] = None, candidates: Optional[FrozenSet[BlockId]] = None
+    ) -> Optional[BlockId]:
+        """The resident block whose next use (from ``from_position``) is furthest away.
+
+        Ties are broken deterministically by the string representation of the
+        block identifier so that runs are reproducible.  Returns ``None`` when
+        there are no resident blocks (or no ``candidates``).
+        """
+        pool = self.resident if candidates is None else (self.resident & candidates)
+        if not pool:
+            return None
+        start = self.cursor if from_position is None else from_position
+        seq = self.instance.sequence
+        return max(pool, key=lambda b: (seq.next_use_from(start, b), str(b)))
+
+    def evictable_for(self, target_position: int) -> Optional[BlockId]:
+        """Victim for a fetch of the block requested at ``target_position``.
+
+        Returns the resident block with the furthest next use provided that
+        use lies strictly after ``target_position`` (the Aggressive
+        pre-condition: *"it can evict a block that is not requested before the
+        block to be fetched"*); otherwise ``None``.
+        """
+        victim = self.furthest_resident()
+        if victim is None:
+            return None
+        if self.next_use(victim) > target_position:
+            return victim
+        return None
+
+
+@runtime_checkable
+class PrefetchPolicy(Protocol):
+    """Protocol all prefetching/caching algorithms implement.
+
+    ``reset`` is called once per simulation before any decision; ``decide`` is
+    called at every decision point and returns the fetches to start *now* —
+    usually zero or one, up to ``D`` for parallel-disk policies.
+    """
+
+    name: str
+
+    def reset(self, instance: ProblemInstance) -> None:  # pragma: no cover - protocol
+        """Prepare internal state for a fresh run over ``instance``."""
+        ...
+
+    def decide(self, view: PolicyView) -> List[FetchDecision]:  # pragma: no cover - protocol
+        """Fetches to initiate at this decision point."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything produced by one simulated run."""
+
+    instance: ProblemInstance
+    schedule: Schedule
+    metrics: SimMetrics
+    events: EventLog
+    policy_name: str = ""
+
+    @property
+    def stall_time(self) -> int:
+        """Total processor stall time of the run."""
+        return self.metrics.stall_time
+
+    @property
+    def elapsed_time(self) -> int:
+        """Total elapsed time (requests + stall) of the run."""
+        return self.metrics.elapsed_time
+
+
+# ---------------------------------------------------------------------------------
+# engine internals
+# ---------------------------------------------------------------------------------
+
+
+class _EngineState:
+    """Mutable engine internals shared by the execution entry points."""
+
+    def __init__(self, instance: ProblemInstance, capacity: int):
+        self.instance = instance
+        self.cache = CacheState(capacity, instance.initial_cache)
+        self.in_flight: Dict[DiskId, Tuple[BlockId, int]] = {}
+        self.fetch_ops: List[TimedFetch] = []
+        self.events = EventLog()
+        self.time = 0
+        self.cursor = 0
+        self.stall = 0
+        self.hits = 0
+        self.misses = 0
+        self.demand_fetches = 0
+        self.peak_used = self.cache.used_slots
+        self.fetches_per_disk: Dict[DiskId, int] = {}
+
+    # -- fetch lifecycle ------------------------------------------------------------
+
+    def complete_due_fetches(self) -> None:
+        """Complete every in-flight fetch whose finish time has been reached."""
+        for disk in sorted(self.in_flight):
+            block, finish = self.in_flight[disk]
+            if finish <= self.time:
+                self.cache.complete_fetch(block)
+                self.events.record(
+                    Event(finish, EventKind.FETCH_COMPLETE, block=block, disk=disk)
+                )
+                del self.in_flight[disk]
+
+    def earliest_completion(self) -> Optional[int]:
+        """Earliest finish time among in-flight fetches (None if all disks idle)."""
+        if not self.in_flight:
+            return None
+        return min(finish for _, finish in self.in_flight.values())
+
+    def start_fetch(self, decision: FetchDecision, *, forced: bool = False) -> None:
+        """Validate and apply one fetch decision at the current time."""
+        inst = self.instance
+        disk, block, victim = decision.disk, decision.block, decision.victim
+        if not 0 <= disk < inst.num_disks:
+            raise PolicyError(f"decision uses unknown disk {disk}")
+        if disk in self.in_flight:
+            raise PolicyError(f"disk {disk} is busy until t={self.in_flight[disk][1]}")
+        if inst.disk_of(block) != disk:
+            raise PolicyError(
+                f"block {block!r} resides on disk {inst.disk_of(block)}, not {disk}"
+            )
+        if self.cache.contains(block):
+            raise PolicyError(f"block {block!r} is already resident")
+        if self.cache.is_incoming(block):
+            raise PolicyError(f"block {block!r} is already being fetched")
+        try:
+            self.cache.start_fetch(block, victim)
+        except Exception as exc:  # CacheError -> PolicyError with context
+            raise PolicyError(str(exc)) from exc
+        finish = self.time + inst.fetch_time
+        self.in_flight[disk] = (block, finish)
+        self.fetch_ops.append(
+            TimedFetch(start_time=self.time, disk=disk, block=block, victim=victim)
+        )
+        self.fetches_per_disk[disk] = self.fetches_per_disk.get(disk, 0) + 1
+        if victim is not None:
+            self.events.record(Event(self.time, EventKind.EVICT, block=victim, disk=disk))
+        self.events.record(Event(self.time, EventKind.FETCH_START, block=block, disk=disk))
+        self.peak_used = max(self.peak_used, self.cache.used_slots)
+        if forced or (
+            self.cursor < inst.num_requests and inst.sequence[self.cursor] == block
+        ):
+            self.demand_fetches += 1
+
+    # -- time advancement -------------------------------------------------------------
+
+    def stall_until(self, target_time: int, *, waiting_for: Optional[BlockId]) -> None:
+        """Advance the clock to ``target_time``, accounting the gap as stall."""
+        gap = target_time - self.time
+        if gap <= 0:
+            return
+        self.events.record(
+            Event(
+                self.time,
+                EventKind.STALL,
+                block=waiting_for,
+                request_index=self.cursor,
+                duration=gap,
+            )
+        )
+        self.stall += gap
+        self.time = target_time
+
+    def serve_current(self) -> None:
+        """Serve the request at the cursor (takes one time unit)."""
+        block = self.instance.sequence[self.cursor]
+        self.events.record(
+            Event(
+                self.time,
+                EventKind.SERVE,
+                block=block,
+                request_index=self.cursor,
+                duration=1,
+            )
+        )
+        self.time += 1
+        self.cursor += 1
+
+    # -- result assembly ---------------------------------------------------------------
+
+    def view(self) -> PolicyView:
+        """Snapshot the current state for a policy decision."""
+        return PolicyView(
+            instance=self.instance,
+            time=self.time,
+            cursor=self.cursor,
+            resident=self.cache.resident,
+            incoming=self.cache.incoming,
+            busy_disks=frozenset(self.in_flight),
+            free_slots=self.cache.free_slots,
+        )
+
+    def metrics(self) -> SimMetrics:
+        """Aggregate metrics of the finished run."""
+        return SimMetrics(
+            num_requests=self.instance.num_requests,
+            stall_time=self.stall,
+            num_fetches=len(self.fetch_ops),
+            num_demand_fetches=self.demand_fetches,
+            cache_hits=self.hits,
+            cache_misses=self.misses,
+            peak_cache_used=self.peak_used,
+            fetches_per_disk=dict(self.fetches_per_disk),
+        )
+
+    def schedule(self) -> Schedule:
+        """The schedule of fetch decisions taken during the run."""
+        return Schedule(
+            fetch_time=self.instance.fetch_time,
+            num_disks=self.instance.num_disks,
+            fetches=tuple(self.fetch_ops),
+            initial_cache=self.instance.initial_cache,
+        )
+
+    def drain_in_flight(self) -> None:
+        """Run the clock out so the event log records trailing fetch completions.
+
+        Completions after the last request affect neither stall nor elapsed
+        time; this only closes the event log tidily.
+        """
+        if self.in_flight:
+            self.time = max(finish for _, finish in self.in_flight.values())
+            self.complete_due_fetches()
+
+
+def _default_forced_victim(state: _EngineState) -> Optional[BlockId]:
+    """Victim for a forced demand fetch: free slot if any, else furthest next use."""
+    if state.cache.free_slots > 0:
+        return None
+    seq = state.instance.sequence
+    resident = state.cache.resident
+    return max(resident, key=lambda b: (seq.next_use_from(state.cursor, b), str(b)))
+
+
+# ---------------------------------------------------------------------------------
+# policy-driven simulation
+# ---------------------------------------------------------------------------------
+
+
+def simulate(instance: ProblemInstance, policy: PrefetchPolicy) -> SimulationResult:
+    """Run ``policy`` over ``instance`` and return the resulting schedule and metrics.
+
+    The engine consults the policy at every decision point.  If the policy
+    leaves the processor unable to make progress (the next request's block is
+    absent, not in flight, and its disk is idle), the engine issues a *forced
+    demand fetch* with the classical furthest-next-use victim, so every policy
+    produces a feasible schedule; such fetches are counted in
+    ``metrics.num_demand_fetches``.
+    """
+    state = _EngineState(instance, instance.cache_size)
+    policy.reset(instance)
+    seq = instance.sequence
+    n = instance.num_requests
+
+    first_look_resident: Dict[int, bool] = {}
+
+    while state.cursor < n:
+        state.complete_due_fetches()
+
+        # Decision point: let the policy start fetches on idle disks.  The loop
+        # is bounded because every applied decision occupies one more disk.
+        for _ in range(instance.num_disks):
+            if len(state.in_flight) >= instance.num_disks:
+                break
+            decisions = policy.decide(state.view())
+            if not decisions:
+                break
+            for decision in decisions:
+                if not isinstance(decision, FetchDecision):
+                    raise PolicyError(
+                        f"policy {policy.name!r} returned {decision!r}, expected FetchDecision"
+                    )
+                state.start_fetch(decision)
+
+        block = seq[state.cursor]
+        if state.cursor not in first_look_resident:
+            first_look_resident[state.cursor] = state.cache.contains(block)
+
+        if state.cache.contains(block):
+            if first_look_resident[state.cursor]:
+                state.hits += 1
+            else:
+                state.misses += 1
+            state.serve_current()
+            continue
+
+        if state.cache.is_incoming(block) or instance.disk_of(block) in state.in_flight:
+            # The block is on its way, or its disk is busy with another fetch.
+            # Stall only until the *earliest* completion so that fetch
+            # completions during the stall become decision points for the
+            # other disks.
+            target = state.earliest_completion()
+            assert target is not None  # at least one fetch is in flight here
+            state.stall_until(target, waiting_for=block)
+            continue
+
+        # The block is absent, not in flight, and its disk is idle: the policy
+        # declined to fetch a block the processor needs right now.
+        victim = _default_forced_victim(state)
+        state.start_fetch(
+            FetchDecision(disk=instance.disk_of(block), block=block, victim=victim),
+            forced=True,
+        )
+
+    state.drain_in_flight()
+
+    return SimulationResult(
+        instance=instance,
+        schedule=state.schedule(),
+        metrics=state.metrics(),
+        events=state.events,
+        policy_name=getattr(policy, "name", type(policy).__name__),
+    )
+
+
+# ---------------------------------------------------------------------------------
+# schedule replay (validation)
+# ---------------------------------------------------------------------------------
+
+
+def execute_schedule(
+    instance: ProblemInstance,
+    schedule: Schedule,
+    *,
+    capacity_override: Optional[int] = None,
+) -> SimulationResult:
+    """Replay a clock-anchored schedule, validating feasibility and measuring stall.
+
+    Raises :class:`InvalidScheduleError` if a fetch cannot be issued exactly
+    at its recorded start time (busy disk, victim absent, block already
+    resident, capacity exceeded) or if the processor would need a block that
+    the schedule never fetches in time (strict mode: no forced fetches are
+    injected).
+    """
+    by_time: Dict[int, List[FetchDecision]] = {}
+    for op in schedule.fetches:
+        by_time.setdefault(op.start_time, []).append(
+            FetchDecision(disk=op.disk, block=op.block, victim=op.victim)
+        )
+    return _execute_with_replay(
+        instance, by_time=by_time, positional=[], capacity_override=capacity_override
+    )
+
+
+def execute_interval_schedule(
+    instance: ProblemInstance,
+    schedule: IntervalSchedule,
+    *,
+    capacity_override: Optional[int] = None,
+) -> SimulationResult:
+    """Replay a position-anchored schedule (LP output), measuring its actual stall.
+
+    A fetch with ``start_pos = i`` becomes eligible once ``i`` requests have
+    been served — the paper's "the fetch starts after request ``r_i``"
+    convention — and is issued at the first decision point from then on at
+    which its disk is idle (consecutive intervals on one disk therefore
+    execute back to back, exactly as the LP's stall accounting assumes).  The
+    measured stall time is never larger, and can be smaller, than the LP
+    objective ``sum x(I) (F - |I|)``: the LP charges the full residual fetch
+    time of each interval whereas the processor only stalls when it actually
+    has to wait.
+    """
+    positional = [
+        (op.start_pos, op.end_pos, FetchDecision(disk=op.disk, block=op.block, victim=op.victim))
+        for op in schedule.fetches
+    ]
+    return _execute_with_replay(
+        instance, by_time={}, positional=positional, capacity_override=capacity_override
+    )
+
+
+def _pop_pending_fetch_for(
+    queues_by_disk: Dict[DiskId, List[Tuple[int, int, "FetchDecision"]]],
+    block: BlockId,
+    cursor: int,
+) -> Optional["FetchDecision"]:
+    """Remove and return a queued positional fetch for ``block`` that is already eligible."""
+    for queue in queues_by_disk.values():
+        for idx, (start_pos, _deadline, decision) in enumerate(queue):
+            if decision.block == block and start_pos <= cursor:
+                queue.pop(idx)
+                return decision
+    return None
+
+
+def _execute_with_replay(
+    instance: ProblemInstance,
+    *,
+    by_time: Dict[int, List[FetchDecision]],
+    positional: List[Tuple[int, int, FetchDecision]],
+    capacity_override: Optional[int],
+) -> SimulationResult:
+    capacity = capacity_override if capacity_override is not None else instance.cache_size
+    state = _EngineState(instance, capacity)
+    seq = instance.sequence
+    n = instance.num_requests
+
+    pending_by_time = {t: list(ds) for t, ds in sorted(by_time.items())}
+    # Positional fetches are kept as one pending queue per disk, in the
+    # paper's linear order "<" (by interval start, then end).  The head of a
+    # queue is issued as soon as (a) enough requests have been served
+    # (cursor >= start_pos), (b) the disk is idle and (c) its victim (if any)
+    # is resident; later entries never overtake the head, which is exactly
+    # how the LP's process-over-time view serialises the fetches of one disk.
+    queues_by_disk: Dict[DiskId, List[Tuple[int, int, FetchDecision]]] = {}
+    for start_pos, deadline, decision in sorted(
+        positional, key=lambda item: (item[0], item[1], str(item[2].block))
+    ):
+        queues_by_disk.setdefault(decision.disk, []).append((start_pos, deadline, decision))
+    # Interval deadlines become *barriers*: request index ``end_pos - 1`` may
+    # not be served before the fetch of its interval has completed.  This is
+    # the synchronized-schedule semantics under which the LP charges
+    # ``F - |I|`` stall per interval; honouring it keeps the executed stall
+    # within the LP objective (the processor may wait slightly where the LP
+    # said it would, instead of racing ahead and starving later intervals).
+    barriers: Dict[int, int] = {}
+    first_look_resident: Dict[int, bool] = {}
+
+    def issue_due() -> None:
+        # Clock-anchored fetches must be issuable at exactly their recorded time.
+        for decision in pending_by_time.pop(state.time, []):
+            try:
+                state.start_fetch(decision)
+            except PolicyError as exc:
+                raise InvalidScheduleError(
+                    f"scheduled fetch {decision} cannot be issued at t={state.time}, "
+                    f"cursor={state.cursor}: {exc}"
+                ) from exc
+        # Position-anchored fetches: issue each disk's queue head when eligible.
+        for disk, queue in queues_by_disk.items():
+            if not queue or disk in state.in_flight:
+                continue
+            start_pos, deadline, decision = queue[0]
+            if start_pos > state.cursor:
+                continue
+            if decision.victim is not None and decision.victim not in state.cache.resident:
+                # Victim still on its way into cache: wait for it.
+                continue
+            if state.cache.contains(decision.block) or state.cache.is_incoming(decision.block):
+                # The block is (still) present — e.g. its eviction is scheduled
+                # in a later interval of a normalised LP solution.  Wait.
+                continue
+            queue.pop(0)
+            try:
+                state.start_fetch(decision)
+            except PolicyError as exc:
+                raise InvalidScheduleError(
+                    f"scheduled fetch {decision} (eligible from position {start_pos}) "
+                    f"cannot be issued at t={state.time}, cursor={state.cursor}: {exc}"
+                ) from exc
+            barrier_index = deadline - 1
+            finish = state.time + instance.fetch_time
+            if 0 <= barrier_index < n:
+                barriers[barrier_index] = max(barriers.get(barrier_index, 0), finish)
+
+    while state.cursor < n:
+        state.complete_due_fetches()
+        issue_due()
+
+        block = seq[state.cursor]
+        if state.cursor not in first_look_resident:
+            first_look_resident[state.cursor] = state.cache.contains(block)
+
+        barrier = barriers.get(state.cursor, 0)
+        if barrier > state.time:
+            # A fetch interval ending at this request has not completed yet:
+            # wait (in completion-sized chunks so other disks' fetches can be
+            # issued at their completion decision points).
+            target = state.earliest_completion()
+            target = barrier if target is None else min(target, barrier)
+            state.stall_until(target, waiting_for=block)
+            continue
+
+        if state.cache.contains(block):
+            if first_look_resident[state.cursor]:
+                state.hits += 1
+            else:
+                state.misses += 1
+            state.serve_current()
+            continue
+
+        if state.cache.is_incoming(block) or instance.disk_of(block) in state.in_flight:
+            target = state.earliest_completion()
+            assert target is not None
+            # Break the stall at the next scheduled clock-anchored fetch so it
+            # is issued at exactly its recorded start time.
+            upcoming = [t for t in pending_by_time if state.time < t < target]
+            if upcoming:
+                target = min(upcoming)
+            state.stall_until(target, waiting_for=block)
+            continue
+
+        # The needed block is neither resident nor in flight, but its fetch may
+        # still be queued behind a fetch that is waiting for a victim on
+        # another disk (a cross-disk wait the per-disk queue discipline cannot
+        # resolve).  Issue that fetch out of order — with its designated victim
+        # if it is resident, with the classical furthest-next-use victim
+        # otherwise — so the replay always makes progress; only a schedule that
+        # never fetches the block at all is rejected.
+        emergency = _pop_pending_fetch_for(queues_by_disk, block, state.cursor)
+        if emergency is not None:
+            decision = emergency
+            victim = decision.victim
+            if victim is not None and victim not in state.cache.resident:
+                victim = _default_forced_victim(state)
+            try:
+                state.start_fetch(
+                    FetchDecision(disk=decision.disk, block=decision.block, victim=victim)
+                )
+            except PolicyError as exc:
+                raise InvalidScheduleError(
+                    f"scheduled fetch for {block!r} could not be issued even out of order "
+                    f"at t={state.time}: {exc}"
+                ) from exc
+            continue
+
+        raise InvalidScheduleError(
+            f"request {state.cursor} needs block {block!r} at t={state.time} but the "
+            "schedule neither has it resident nor in flight"
+        )
+
+    # Positional fetches still pending once every request has been served can
+    # no longer influence stall or feasibility (they would fetch blocks that
+    # are never needed again); they are dropped silently.  Clock-anchored
+    # fetches, by contrast, must all have been replayed at their exact times.
+    leftovers = sum(len(v) for v in pending_by_time.values())
+    if leftovers:
+        raise InvalidScheduleError(
+            f"{leftovers} scheduled fetches were never reached during replay "
+            "(start time lies beyond the end of the run)"
+        )
+
+    state.drain_in_flight()
+
+    return SimulationResult(
+        instance=instance,
+        schedule=state.schedule(),
+        metrics=state.metrics(),
+        events=state.events,
+        policy_name="replay",
+    )

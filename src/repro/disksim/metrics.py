@@ -1,0 +1,83 @@
+"""Performance metrics of a prefetching/caching run.
+
+The two headline quantities of the paper are *stall time* and *elapsed time*
+(= number of requests + stall time).  :class:`SimMetrics` additionally records
+counters that the experiments and the analysis harness use: fetch counts,
+demand-fetch counts (fetches issued only because the processor was already
+waiting for the block), cache hit/miss counts and the peak number of cache
+slots in use, which is how the Section 3 experiments verify the
+``<= 2(D - 1)`` extra-memory guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from .._typing import DiskId
+
+__all__ = ["SimMetrics"]
+
+
+@dataclass(frozen=True)
+class SimMetrics:
+    """Aggregate metrics of a single simulated run."""
+
+    num_requests: int
+    stall_time: int
+    num_fetches: int
+    num_demand_fetches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    peak_cache_used: int = 0
+    fetches_per_disk: Mapping[DiskId, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "fetches_per_disk", dict(self.fetches_per_disk))
+
+    @property
+    def elapsed_time(self) -> int:
+        """Elapsed time = number of requests + total stall time."""
+        return self.num_requests + self.stall_time
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests whose block was resident when first needed."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def average_stall_per_request(self) -> float:
+        """Mean stall time charged per request."""
+        return self.stall_time / self.num_requests if self.num_requests else 0.0
+
+    def extra_cache_used(self, base_capacity: int) -> int:
+        """Peak cache occupancy beyond ``base_capacity`` (0 if within it)."""
+        return max(0, self.peak_cache_used - base_capacity)
+
+    def stall_ratio_to(self, other: "SimMetrics") -> float:
+        """Ratio of this run's stall time to ``other``'s (inf if other is 0)."""
+        if other.stall_time == 0:
+            return float("inf") if self.stall_time > 0 else 1.0
+        return self.stall_time / other.stall_time
+
+    def elapsed_ratio_to(self, other: "SimMetrics") -> float:
+        """Ratio of this run's elapsed time to ``other``'s."""
+        if other.elapsed_time == 0:
+            return float("inf") if self.elapsed_time > 0 else 1.0
+        return self.elapsed_time / other.elapsed_time
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "num_requests": self.num_requests,
+            "stall_time": self.stall_time,
+            "elapsed_time": self.elapsed_time,
+            "num_fetches": self.num_fetches,
+            "num_demand_fetches": self.num_demand_fetches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "peak_cache_used": self.peak_cache_used,
+            "fetches_per_disk": dict(self.fetches_per_disk),
+        }

@@ -1,0 +1,41 @@
+"""Linear-programming machinery for optimal prefetching/caching schedules.
+
+The Section 3 synchronized LP (:mod:`repro.lp.model`), its LP/MILP solvers
+(:mod:`repro.lp.solver`), the paper's time-slicing rounding
+(:mod:`repro.lp.rounding`), and the two user-facing drivers:
+:func:`optimal_single_disk` (exact single-disk optimum, the denominator of
+every Section 2 approximation ratio) and :func:`optimal_parallel_schedule`
+(the Theorem 4 algorithm).
+"""
+
+from .intervals import Interval, enumerate_intervals
+from .model import DUMMY_PREFIX, PADDING_PREFIX, LPSolution, SynchronizedLPModel
+from .normalize import normalize_integral_solution
+from .parallel import ParallelOptimum, optimal_parallel_schedule
+from .rounding import RoundedSolution, candidate_offsets, round_solution
+from .single_disk import SingleDiskOptimum, optimal_single_disk, optimal_single_disk_elapsed
+from .solver import solve_integral, solve_relaxation
+from .validation import ValidationReport, solution_vector, validate_solution
+
+__all__ = [
+    "Interval",
+    "enumerate_intervals",
+    "DUMMY_PREFIX",
+    "PADDING_PREFIX",
+    "LPSolution",
+    "SynchronizedLPModel",
+    "normalize_integral_solution",
+    "ParallelOptimum",
+    "optimal_parallel_schedule",
+    "RoundedSolution",
+    "candidate_offsets",
+    "round_solution",
+    "SingleDiskOptimum",
+    "optimal_single_disk",
+    "optimal_single_disk_elapsed",
+    "solve_integral",
+    "solve_relaxation",
+    "ValidationReport",
+    "solution_vector",
+    "validate_solution",
+]

@@ -1,0 +1,94 @@
+"""Fetch intervals — the time structure of the Section 3 linear program.
+
+An interval ``I = (i, j)`` (paper notation, with ``0 <= i < j <= n``)
+represents a synchronized fetch that starts after request ``r_i`` has been
+served and completes before ``r_j`` is served.  Its *length* ``|I| = j-i-1``
+is the number of requests that overlap the fetch, so ``F - |I|`` units of
+stall are charged at its end; intervals longer than ``F`` are never useful
+and are not enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["Interval", "enumerate_intervals", "intervals_within", "intervals_covering_slot"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A fetch interval ``(start, end)`` in the paper's index convention."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ConfigurationError(f"interval ({self.start}, {self.end}) is empty")
+
+    @property
+    def length(self) -> int:
+        """Number of requests served during the fetch (the paper's ``|I|``)."""
+        return self.end - self.start - 1
+
+    def charged_stall(self, fetch_time: int) -> int:
+        """Stall charged at the interval's end: ``max(0, F - |I|)``."""
+        return max(0, fetch_time - self.length)
+
+    def contains(self, other: "Interval") -> bool:
+        """Containment in the paper's sense: ``other ⊆ self``."""
+        return self.start <= other.start and other.end <= self.end
+
+    def contained_in(self, lo: int, hi: int) -> bool:
+        """Whether this interval lies within the window ``(lo, hi)``."""
+        return lo <= self.start and self.end <= hi
+
+    def covers_slot(self, request_index: int) -> bool:
+        """Whether the fetch overlaps the service of 1-based request ``request_index``.
+
+        Slot ``p`` is covered exactly when ``(p-1, p+1) ⊆ I``, i.e.
+        ``start <= p - 1`` and ``end >= p + 1``.
+        """
+        return self.start <= request_index - 1 and self.end >= request_index + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"I({self.start},{self.end})"
+
+
+def enumerate_intervals(num_requests: int, fetch_time: int) -> List[Interval]:
+    """All candidate fetch intervals for a sequence of ``num_requests`` requests.
+
+    ``i`` ranges over ``0 .. n-1`` and ``j`` over ``i+1 .. min(n, i+F+1)``:
+    intervals longer than ``F`` incur no stall but waste no less disk time, so
+    restricting to ``|I| <= F`` loses no optimal solution (exactly the
+    restriction used in the paper and in Albers–Garg–Leonardi).
+    """
+    if num_requests < 1:
+        raise ConfigurationError("num_requests must be positive")
+    if fetch_time < 1:
+        raise ConfigurationError("fetch_time must be positive")
+    intervals: List[Interval] = []
+    for start in range(num_requests):
+        last_end = min(num_requests, start + fetch_time + 1)
+        for end in range(start + 1, last_end + 1):
+            if end > num_requests:
+                break
+            intervals.append(Interval(start, end))
+    return intervals
+
+
+def intervals_within(intervals: List[Interval], lo: int, hi: int) -> Iterator[Interval]:
+    """Intervals fully contained in the window ``(lo, hi)``."""
+    for interval in intervals:
+        if interval.contained_in(lo, hi):
+            yield interval
+
+
+def intervals_covering_slot(intervals: List[Interval], request_index: int) -> Iterator[Interval]:
+    """Intervals overlapping the service of 1-based request ``request_index``."""
+    for interval in intervals:
+        if interval.covers_slot(request_index):
+            yield interval

@@ -1,0 +1,86 @@
+"""Optimal single-disk prefetching/caching schedules.
+
+For ``D = 1`` every schedule is trivially synchronized (a single disk never
+runs two fetches at once), so the Section 3 model with ``extra_cache = 0``
+computes the true optimum ``s_OPT(sigma, k)`` — this is the Albers–Garg–
+Leonardi result that optimal single-disk schedules can be found in polynomial
+time, realised here through the same LP as the parallel case.  The single-
+disk experiments (E1–E5) use these optima as the denominator of every
+measured approximation ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..disksim.executor import SimulationResult, execute_interval_schedule
+from ..disksim.instance import ProblemInstance
+from ..disksim.schedule import IntervalSchedule
+from ..errors import ConfigurationError
+from .model import LPSolution, SynchronizedLPModel
+from .solver import solve_integral, solve_relaxation
+
+__all__ = ["SingleDiskOptimum", "optimal_single_disk", "optimal_single_disk_elapsed"]
+
+
+@dataclass(frozen=True)
+class SingleDiskOptimum:
+    """An optimal single-disk schedule plus its certified stall time."""
+
+    instance: ProblemInstance
+    schedule: IntervalSchedule
+    solution: LPSolution
+    execution: SimulationResult
+    lp_lower_bound: float
+
+    @property
+    def stall_time(self) -> int:
+        """Optimal stall time ``s_OPT(sigma, k)`` (as executed by the simulator)."""
+        return self.execution.stall_time
+
+    @property
+    def elapsed_time(self) -> int:
+        """Optimal elapsed time ``n + s_OPT(sigma, k)``."""
+        return self.execution.elapsed_time
+
+    @property
+    def charged_stall(self) -> int:
+        """Stall charged by the LP objective (an upper bound on the executed stall)."""
+        return self.solution.charged_stall(self.instance.fetch_time)
+
+
+def optimal_single_disk(
+    instance: ProblemInstance, *, time_limit: Optional[float] = None
+) -> SingleDiskOptimum:
+    """Compute an optimal single-disk schedule for ``instance``.
+
+    Raises :class:`ConfigurationError` if the instance uses more than one
+    disk; use :func:`repro.lp.parallel.optimal_parallel_schedule` for the
+    multi-disk problem.
+    """
+    if instance.num_disks != 1:
+        raise ConfigurationError(
+            f"optimal_single_disk needs a single-disk instance, got D={instance.num_disks}"
+        )
+    model = SynchronizedLPModel(instance, extra_cache=0, require_all_disks=False)
+    relaxation = solve_relaxation(model)
+    solution = relaxation if relaxation.is_integral else solve_integral(model, time_limit=time_limit)
+    schedule = model.extract_schedule(solution)
+    execution = execute_interval_schedule(
+        model.augmented_instance, schedule, capacity_override=model.capacity
+    )
+    return SingleDiskOptimum(
+        instance=instance,
+        schedule=schedule,
+        solution=solution,
+        execution=execution,
+        lp_lower_bound=relaxation.objective,
+    )
+
+
+def optimal_single_disk_elapsed(
+    instance: ProblemInstance, *, time_limit: Optional[float] = None
+) -> int:
+    """Shortcut returning only the optimal elapsed time (requests + minimum stall)."""
+    return optimal_single_disk(instance, time_limit=time_limit).elapsed_time

@@ -1,0 +1,21 @@
+"""Classical paging (pure caching) policies: Belady's MIN, LRU and FIFO.
+
+These are the caching-only substrate of the integrated problem; the
+Conservative prefetching algorithm reuses MIN's replacement decisions
+directly.
+"""
+
+from .base import EvictionPolicy, PagingResult, run_paging
+from .belady import BeladyMIN, min_fault_count
+from .fifo import FIFO
+from .lru import LRU
+
+__all__ = [
+    "EvictionPolicy",
+    "PagingResult",
+    "run_paging",
+    "BeladyMIN",
+    "min_fault_count",
+    "FIFO",
+    "LRU",
+]

@@ -1,0 +1,51 @@
+"""Belady's optimal offline replacement algorithm MIN.
+
+MIN evicts, on every fault with a full cache, the resident block whose next
+reference is furthest in the future (blocks never referenced again are
+furthest of all).  Belady (1966) proved MIN minimises the number of faults;
+the *Conservative* prefetching algorithm of Cao et al. performs exactly MIN's
+replacements while overlapping the fetches with computation as much as the
+replacement choice allows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .._typing import BlockId
+from ..disksim.sequence import RequestSequence
+from .base import EvictionPolicy
+
+__all__ = ["BeladyMIN", "min_fault_count"]
+
+
+class BeladyMIN(EvictionPolicy):
+    """Furthest-in-future replacement (optimal offline paging)."""
+
+    name = "MIN"
+
+    def __init__(self) -> None:
+        self._sequence: Optional[RequestSequence] = None
+
+    def reset(self, sequence: RequestSequence, cache_size: int) -> None:
+        self._sequence = sequence
+
+    def choose_victim(
+        self, position: int, resident: Set[BlockId], requested: BlockId
+    ) -> BlockId:
+        assert self._sequence is not None, "reset() must be called before choose_victim()"
+        seq = self._sequence
+        # Furthest next use measured strictly after the faulting position; ties
+        # broken by block name for determinism.
+        return max(resident, key=lambda b: (seq.next_use_from(position + 1, b), str(b)))
+
+
+def min_fault_count(
+    sequence: RequestSequence,
+    cache_size: int,
+    initial_cache=(),
+) -> int:
+    """Number of faults MIN incurs — the offline minimum for demand paging."""
+    from .base import run_paging
+
+    return run_paging(sequence, cache_size, BeladyMIN(), initial_cache).faults

@@ -1,0 +1,6 @@
+"""Text-based visualisation of schedules (ASCII Gantt charts and timelines)."""
+
+from .gantt import render_gantt
+from .timeline import cache_occupancy_trace, render_timeline
+
+__all__ = ["render_gantt", "cache_occupancy_trace", "render_timeline"]

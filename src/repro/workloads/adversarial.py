@@ -1,0 +1,159 @@
+"""Adversarial request sequences from the lower-bound proofs.
+
+Two constructions are implemented:
+
+* :func:`theorem2_sequence` — the phase construction from Theorem 2 of the
+  paper, which forces the Aggressive algorithm into a ratio of
+  ``1 + (F - 2)/(k + (k-1)/(F-1) + 2)``, i.e. arbitrarily close to
+  ``min{1 + F/(k + (k-1)/(F-1)), 2}`` as the number of phases grows.  The
+  construction requires ``F - 1`` to divide ``k - 1`` and ``F <= k``; helper
+  :func:`theorem2_parameters` enumerates valid ``(k, F)`` pairs.
+
+* :func:`cao_f_ge_k_sequence` — the classical Cao et al. style sequence for
+  ``F >= k`` on which no overlap is possible for Aggressive-like strategies
+  and the factor-2 regime is approached: a cyclic scan over ``k + 1`` blocks
+  (every request misses under any k-block cache, LRU- and MIN-alike).
+
+Both generators also report the *predicted* per-phase costs stated in the
+paper so that experiments can check measured behaviour against the proof's
+accounting (Aggressive: ``k + l + F`` time units per phase; OPT:
+``k + l + 2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .._typing import BlockId
+from ..disksim.instance import ProblemInstance
+from ..disksim.sequence import RequestSequence
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Theorem2Construction",
+    "theorem2_sequence",
+    "theorem2_parameters",
+    "cao_f_ge_k_sequence",
+]
+
+
+@dataclass(frozen=True)
+class Theorem2Construction:
+    """The Theorem 2 lower-bound instance plus the proof's predicted accounting."""
+
+    instance: ProblemInstance
+    num_phases: int
+    phase_length: int
+    blocks_per_phase: int
+    aggressive_time_per_phase: int
+    optimal_time_per_phase: int
+
+    @property
+    def predicted_ratio(self) -> float:
+        """Per-phase ratio ``(k + l + F)/(k + l + 2)`` the construction forces."""
+        return self.aggressive_time_per_phase / self.optimal_time_per_phase
+
+    @property
+    def asymptotic_ratio(self) -> float:
+        """The Theorem 2 bound ``min{1 + F/(k + (k-1)/(F-1)), 2}``."""
+        k = self.instance.cache_size
+        fetch_time = self.instance.fetch_time
+        return min(1.0 + fetch_time / (k + (k - 1) / (fetch_time - 1)), 2.0)
+
+
+def theorem2_parameters(
+    max_cache: int, max_fetch: int
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(k, F)`` pairs valid for the Theorem 2 construction.
+
+    Validity requires ``1 < F <= k`` and ``(F - 1) | (k - 1)``.
+    """
+    for fetch_time in range(2, max_fetch + 1):
+        for k in range(fetch_time, max_cache + 1):
+            if (k - 1) % (fetch_time - 1) == 0:
+                yield (k, fetch_time)
+
+
+def theorem2_sequence(k: int, fetch_time: int, num_phases: int) -> Theorem2Construction:
+    """Build the Theorem 2 adversarial instance for ``(k, F)`` with ``num_phases`` phases.
+
+    Phase ``i`` requests ``a1``, then the ``l`` new blocks of the *previous*
+    phase (``b^{i-1}_1 .. b^{i-1}_l``), then ``a2 .. a_{k-l}``, and finally
+    ``l`` brand-new blocks ``b^i_1 .. b^i_l``, where ``l = (k-1)/(F-1)``.
+    Aggressive starts fetching the new blocks right after ``a1``, is forced to
+    evict ``a1`` and pays ``F - 1`` extra stall units to bring it back; the
+    optimum waits one request and evicts the dead blocks of the previous
+    phase instead.
+    """
+    if fetch_time < 2:
+        raise ConfigurationError("Theorem 2 construction needs F >= 2")
+    if fetch_time > k:
+        raise ConfigurationError("Theorem 2 construction needs F <= k")
+    if (k - 1) % (fetch_time - 1) != 0:
+        raise ConfigurationError(
+            f"Theorem 2 construction needs (F - 1) | (k - 1); got k={k}, F={fetch_time}"
+        )
+    if num_phases < 1:
+        raise ConfigurationError("need at least one phase")
+
+    l = (k - 1) // (fetch_time - 1)
+    if l >= k:
+        raise ConfigurationError(
+            f"construction degenerates for k={k}, F={fetch_time}: l={l} >= k"
+        )
+    a_blocks: List[BlockId] = [f"a{j}" for j in range(1, k - l + 1)]
+
+    def phase_new_blocks(phase: int) -> List[BlockId]:
+        return [f"b{phase}_{j}" for j in range(1, l + 1)]
+
+    requests: List[BlockId] = []
+    for phase in range(1, num_phases + 1):
+        previous = phase_new_blocks(phase - 1)
+        current = phase_new_blocks(phase)
+        requests.append(a_blocks[0])
+        requests.extend(previous)
+        requests.extend(a_blocks[1:])
+        requests.extend(current)
+
+    initial_cache = list(a_blocks) + phase_new_blocks(0)
+    instance = ProblemInstance.single_disk(
+        RequestSequence(requests),
+        cache_size=k,
+        fetch_time=fetch_time,
+        initial_cache=initial_cache,
+    )
+    return Theorem2Construction(
+        instance=instance,
+        num_phases=num_phases,
+        phase_length=k + l,
+        blocks_per_phase=l,
+        aggressive_time_per_phase=k + l + fetch_time,
+        optimal_time_per_phase=k + l + 2,
+    )
+
+
+def cao_f_ge_k_sequence(k: int, fetch_time: int, num_cycles: int) -> ProblemInstance:
+    """A cyclic scan over ``k + 1`` distinct blocks, repeated ``num_cycles`` times.
+
+    With only ``k`` cache slots every request to the cycling block set
+    eventually misses regardless of the replacement policy, so when
+    ``F >= k`` no strategy can hide more than ``k`` of the ``F`` fetch units
+    behind computation and all reasonable algorithms approach the factor-2
+    regime of the elapsed-time measure.  Used by the E1/E5 experiments as the
+    ``F >= k`` stress case.
+    """
+    if k < 1 or fetch_time < 1:
+        raise ConfigurationError("k and F must be positive")
+    if num_cycles < 1:
+        raise ConfigurationError("need at least one cycle")
+    blocks = [f"c{j}" for j in range(k + 1)]
+    requests: List[BlockId] = []
+    for _ in range(num_cycles):
+        requests.extend(blocks)
+    return ProblemInstance.single_disk(
+        RequestSequence(requests),
+        cache_size=k,
+        fetch_time=fetch_time,
+        initial_cache=blocks[:k],
+    )

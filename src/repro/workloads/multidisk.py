@@ -1,0 +1,108 @@
+"""Multi-disk instance builders: block placement strategies.
+
+The parallel-disk experiments need both a request sequence and an assignment
+of blocks to the ``D`` disks.  Placement strongly affects how much
+parallelism a prefetcher can exploit — striping spreads consecutive blocks
+across disks (maximum overlap), partitioning by stream keeps each stream on
+one disk (fetches of one stream serialise), and hashing is the neutral
+baseline.  These helpers build :class:`~repro.disksim.instance.ProblemInstance`
+objects from any request sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .._typing import BlockId
+from ..disksim.disk import DiskLayout
+from ..disksim.instance import ProblemInstance
+from ..disksim.sequence import RequestSequence
+from ..errors import ConfigurationError
+
+__all__ = [
+    "striped_instance",
+    "hashed_instance",
+    "partitioned_instance",
+    "first_seen_round_robin_instance",
+]
+
+
+def _as_sequence(requests: RequestSequence | Sequence[BlockId]) -> RequestSequence:
+    return requests if isinstance(requests, RequestSequence) else RequestSequence(requests)
+
+
+def striped_instance(
+    requests: RequestSequence | Sequence[BlockId],
+    cache_size: int,
+    fetch_time: int,
+    num_disks: int,
+    *,
+    initial_cache: Iterable[BlockId] = (),
+) -> ProblemInstance:
+    """Place distinct blocks round-robin over disks in sorted-name order."""
+    seq = _as_sequence(requests)
+    layout = DiskLayout.striped(sorted(seq.distinct_blocks, key=str), num_disks)
+    return ProblemInstance.parallel_disk(seq, cache_size, fetch_time, layout, initial_cache)
+
+
+def hashed_instance(
+    requests: RequestSequence | Sequence[BlockId],
+    cache_size: int,
+    fetch_time: int,
+    num_disks: int,
+    *,
+    initial_cache: Iterable[BlockId] = (),
+) -> ProblemInstance:
+    """Place blocks by a stable hash of their identifier."""
+    seq = _as_sequence(requests)
+    layout = DiskLayout.hashed(sorted(seq.distinct_blocks, key=str), num_disks)
+    return ProblemInstance.parallel_disk(seq, cache_size, fetch_time, layout, initial_cache)
+
+
+def first_seen_round_robin_instance(
+    requests: RequestSequence | Sequence[BlockId],
+    cache_size: int,
+    fetch_time: int,
+    num_disks: int,
+    *,
+    initial_cache: Iterable[BlockId] = (),
+) -> ProblemInstance:
+    """Assign blocks to disks round-robin in order of first appearance.
+
+    Consecutive *new* blocks land on different disks, which is the placement
+    that maximises fetch overlap for scan-like workloads — the favourable case
+    for parallel prefetching.
+    """
+    seq = _as_sequence(requests)
+    mapping = {}
+    next_disk = 0
+    for block in seq:
+        if block not in mapping:
+            mapping[block] = next_disk
+            next_disk = (next_disk + 1) % num_disks
+    layout = DiskLayout(num_disks, mapping)
+    return ProblemInstance.parallel_disk(seq, cache_size, fetch_time, layout, initial_cache)
+
+
+def partitioned_instance(
+    requests: RequestSequence | Sequence[BlockId],
+    cache_size: int,
+    fetch_time: int,
+    partitions: Sequence[Sequence[BlockId]],
+    *,
+    initial_cache: Iterable[BlockId] = (),
+) -> ProblemInstance:
+    """Place blocks on disks according to explicit partitions (one per disk).
+
+    Every block requested by the sequence must appear in exactly one
+    partition.
+    """
+    seq = _as_sequence(requests)
+    layout = DiskLayout.partitioned(partitions)
+    missing = [b for b in seq.distinct_blocks if b not in layout.mapping]
+    if missing:
+        raise ConfigurationError(
+            f"{len(missing)} requested blocks are not assigned to any partition, "
+            f"e.g. {sorted(map(str, missing))[:5]}"
+        )
+    return ProblemInstance.parallel_disk(seq, cache_size, fetch_time, layout, initial_cache)

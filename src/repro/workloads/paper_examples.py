@@ -1,0 +1,132 @@
+"""The two worked examples from the paper's introduction.
+
+The paper illustrates the model with two tiny instances whose numbers are
+stated explicitly; the E0 experiment (and several integration tests)
+reproduce them digit for digit:
+
+* **Single-disk example** (Section 1): ``sigma = b1 b2 b3 b4 b4 b5 b1 b4 b4
+  b2`` with ``k = 4``, ``F = 4`` and ``b1..b4`` initially in cache.  Fetching
+  ``b5`` at the request to ``b2`` (and evicting ``b1``) yields 3 units of
+  stall and elapsed time 13; the better option — fetching at the request to
+  ``b3`` and evicting ``b2`` — yields 1 unit of stall before ``b5`` and
+  elapsed time 11.
+
+* **Two-disk example** (Section 1): ``b1..b4`` on disk 1, ``c1..c3`` on
+  disk 2, ``k = 4``, ``F = 4``, initial cache ``{b1, b2, c1, c2}`` and
+  ``sigma = b1 b2 c1 c2 b3 c3 b4``.  The schedule described in the paper
+  (disk 1 fetches ``b3`` at the request to ``b2`` evicting ``b1``, disk 2
+  fetches ``c3`` one request later evicting ``b2``, disk 1 then fetches
+  ``b4`` at the request to ``b3``) incurs a total stall time of 3.
+"""
+
+from __future__ import annotations
+
+from ..disksim.disk import DiskLayout
+from ..disksim.instance import ProblemInstance
+from ..disksim.schedule import IntervalFetch, IntervalSchedule
+
+__all__ = [
+    "single_disk_example",
+    "single_disk_example_good_schedule",
+    "single_disk_example_greedy_schedule",
+    "parallel_disk_example",
+    "parallel_disk_example_schedule",
+]
+
+
+def single_disk_example() -> ProblemInstance:
+    """The Section 1 single-disk instance (k=4, F=4, warm cache b1..b4)."""
+    return ProblemInstance.single_disk(
+        ["b1", "b2", "b3", "b4", "b4", "b5", "b1", "b4", "b4", "b2"],
+        cache_size=4,
+        fetch_time=4,
+        initial_cache=["b1", "b2", "b3", "b4"],
+    )
+
+
+def single_disk_example_greedy_schedule() -> IntervalSchedule:
+    """The paper's *first* option: fetch b5 at the request to b2, evicting b1.
+
+    The eviction of ``b1`` forces a second fetch that can only overlap the
+    request to ``b5``: 3 units of stall, elapsed time 13.
+    """
+    inst = single_disk_example()
+    fetches = (
+        # Fetch b5 while serving b2, b3, b4, b4 (interval (1, 6) in paper
+        # notation, fully overlapped); evict b1.
+        IntervalFetch(start_pos=1, end_pos=6, disk=0, block="b5", victim="b1"),
+        # Fetch b1 back; it can only overlap the request to b5, so 3 units of
+        # stall are incurred before b1's reference (interval (5, 7)).
+        IntervalFetch(start_pos=5, end_pos=7, disk=0, block="b1", victim="b3"),
+    )
+    return IntervalSchedule(
+        fetch_time=inst.fetch_time,
+        num_disks=1,
+        num_requests=inst.num_requests,
+        fetches=fetches,
+        initial_cache=inst.initial_cache,
+    )
+
+
+def single_disk_example_good_schedule() -> IntervalSchedule:
+    """The paper's *better* option: fetch b5 at the request to b3, evicting b2.
+
+    One unit of stall before ``b5``; ``b2`` is fetched back completely
+    overlapped with computation: elapsed time 11.
+    """
+    inst = single_disk_example()
+    fetches = (
+        # Fetch b5 while serving b3, b4, b4 (interval (2, 6): one unit of
+        # stall before b5's reference); evict b2.
+        IntervalFetch(start_pos=2, end_pos=6, disk=0, block="b5", victim="b2"),
+        # Fetch b2 back fully overlapped with serving b5, b1, b4, b4
+        # (interval (5, 10), no stall).
+        IntervalFetch(start_pos=5, end_pos=10, disk=0, block="b2", victim="b3"),
+    )
+    return IntervalSchedule(
+        fetch_time=inst.fetch_time,
+        num_disks=1,
+        num_requests=inst.num_requests,
+        fetches=fetches,
+        initial_cache=inst.initial_cache,
+    )
+
+
+def parallel_disk_example() -> ProblemInstance:
+    """The Section 1 two-disk instance (k=4, F=4, warm cache {b1, b2, c1, c2})."""
+    layout = DiskLayout.partitioned([["b1", "b2", "b3", "b4"], ["c1", "c2", "c3"]])
+    return ProblemInstance.parallel_disk(
+        ["b1", "b2", "c1", "c2", "b3", "c3", "b4"],
+        cache_size=4,
+        fetch_time=4,
+        layout=layout,
+        initial_cache=["b1", "b2", "c1", "c2"],
+    )
+
+
+def parallel_disk_example_schedule() -> IntervalSchedule:
+    """The schedule described in the paper for the two-disk example (stall 3).
+
+    Disk 1 fetches ``b3`` starting at the request to ``b2`` (evicting ``b1``),
+    disk 2 fetches ``c3`` one request later (evicting ``b2``), and disk 1
+    fetches ``b4`` starting at the request to ``b3``; the total stall time of
+    the schedule is 3.
+    """
+    inst = parallel_disk_example()
+    fetches = (
+        # Disk 0: fetch b3 while serving b2, c1, c2 (positions 1..3); 1 stall.
+        IntervalFetch(start_pos=1, end_pos=5, disk=0, block="b3", victim="b1"),
+        # Disk 1: fetch c3 while serving c1, c2 (positions 2..3) plus the
+        # stall unit shared with disk 0's fetch; no additional stall.
+        IntervalFetch(start_pos=2, end_pos=6, disk=1, block="c3", victim="b2"),
+        # Disk 0: fetch b4 starting at the request to b3 (position 4); only
+        # b3 and c3 can overlap it, so 2 more units of stall.
+        IntervalFetch(start_pos=4, end_pos=7, disk=0, block="b4", victim="c1"),
+    )
+    return IntervalSchedule(
+        fetch_time=inst.fetch_time,
+        num_disks=2,
+        num_requests=inst.num_requests,
+        fetches=fetches,
+        initial_cache=inst.initial_cache,
+    )

@@ -1,0 +1,175 @@
+"""Synthetic request-sequence generators.
+
+These generators provide the workload variety the experiments sweep over:
+uniform random references, Zipf-skewed references (a standard stand-in for
+file and buffer-pool popularity distributions), sequential and strided scans,
+looping scans (the classic pattern where prefetching shines and pure LRU
+caching fails), and mixtures of phases with different locality.  All
+generators are deterministic given a seed and return
+:class:`~repro.disksim.sequence.RequestSequence` objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._typing import BlockId
+from ..disksim.sequence import RequestSequence
+from ..errors import ConfigurationError
+
+__all__ = [
+    "uniform_random",
+    "zipf",
+    "sequential_scan",
+    "strided_scan",
+    "looping_scan",
+    "mixed_phases",
+    "working_set_shift",
+]
+
+
+def _block_names(num_blocks: int, prefix: str = "x") -> List[BlockId]:
+    return [f"{prefix}{j}" for j in range(num_blocks)]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform_random(
+    num_requests: int, num_blocks: int, *, seed: Optional[int] = 0, prefix: str = "u"
+) -> RequestSequence:
+    """Independent uniform references over ``num_blocks`` distinct blocks."""
+    if num_requests < 1 or num_blocks < 1:
+        raise ConfigurationError("num_requests and num_blocks must be positive")
+    rng = _rng(seed)
+    names = _block_names(num_blocks, prefix)
+    picks = rng.integers(0, num_blocks, size=num_requests)
+    return RequestSequence([names[i] for i in picks])
+
+
+def zipf(
+    num_requests: int,
+    num_blocks: int,
+    *,
+    skew: float = 1.0,
+    seed: Optional[int] = 0,
+    prefix: str = "z",
+) -> RequestSequence:
+    """Zipf-distributed references: block ``j`` has weight ``1/(j+1)^skew``.
+
+    ``skew = 0`` degenerates to uniform; ``skew`` around 1 models typical
+    file-popularity skew.
+    """
+    if num_requests < 1 or num_blocks < 1:
+        raise ConfigurationError("num_requests and num_blocks must be positive")
+    if skew < 0:
+        raise ConfigurationError("skew must be non-negative")
+    rng = _rng(seed)
+    names = _block_names(num_blocks, prefix)
+    weights = 1.0 / np.power(np.arange(1, num_blocks + 1, dtype=float), skew)
+    weights /= weights.sum()
+    picks = rng.choice(num_blocks, size=num_requests, p=weights)
+    return RequestSequence([names[i] for i in picks])
+
+
+def sequential_scan(
+    num_blocks: int, *, repeats_per_block: int = 1, prefix: str = "s"
+) -> RequestSequence:
+    """One pass over ``num_blocks`` blocks in order (each block repeated)."""
+    if num_blocks < 1 or repeats_per_block < 1:
+        raise ConfigurationError("num_blocks and repeats_per_block must be positive")
+    names = _block_names(num_blocks, prefix)
+    requests: List[BlockId] = []
+    for name in names:
+        requests.extend([name] * repeats_per_block)
+    return RequestSequence(requests)
+
+
+def strided_scan(
+    num_blocks: int, stride: int, num_requests: int, *, prefix: str = "t"
+) -> RequestSequence:
+    """Visit blocks ``0, stride, 2*stride, ...`` modulo ``num_blocks``."""
+    if num_blocks < 1 or stride < 1 or num_requests < 1:
+        raise ConfigurationError("num_blocks, stride and num_requests must be positive")
+    names = _block_names(num_blocks, prefix)
+    return RequestSequence([names[(i * stride) % num_blocks] for i in range(num_requests)])
+
+
+def looping_scan(
+    num_blocks: int, num_loops: int, *, prefix: str = "l"
+) -> RequestSequence:
+    """Repeatedly scan the same ``num_blocks`` blocks, ``num_loops`` times.
+
+    When the loop is slightly larger than the cache, LRU caching alone keeps
+    missing on every request while prefetching can hide most of the latency —
+    the canonical motivating pattern for integrated prefetching and caching.
+    """
+    if num_blocks < 1 or num_loops < 1:
+        raise ConfigurationError("num_blocks and num_loops must be positive")
+    names = _block_names(num_blocks, prefix)
+    return RequestSequence(names * num_loops)
+
+
+def working_set_shift(
+    num_phases: int,
+    blocks_per_phase: int,
+    requests_per_phase: int,
+    *,
+    overlap: int = 0,
+    seed: Optional[int] = 0,
+    prefix: str = "w",
+) -> RequestSequence:
+    """Random references within a working set that shifts every phase.
+
+    Each phase draws uniformly from its own window of ``blocks_per_phase``
+    blocks; consecutive windows share ``overlap`` blocks.  This mimics an
+    application moving between data structures and stresses the eviction side
+    of integrated prefetching.
+    """
+    if num_phases < 1 or blocks_per_phase < 1 or requests_per_phase < 1:
+        raise ConfigurationError("phase parameters must be positive")
+    if not 0 <= overlap < blocks_per_phase:
+        raise ConfigurationError("overlap must lie in [0, blocks_per_phase)")
+    rng = _rng(seed)
+    requests: List[BlockId] = []
+    step = blocks_per_phase - overlap
+    for phase in range(num_phases):
+        base = phase * step
+        names = [f"{prefix}{base + j}" for j in range(blocks_per_phase)]
+        picks = rng.integers(0, blocks_per_phase, size=requests_per_phase)
+        requests.extend(names[i] for i in picks)
+    return RequestSequence(requests)
+
+
+def mixed_phases(
+    parts: Sequence[RequestSequence], *, interleave: bool = False, seed: Optional[int] = 0
+) -> RequestSequence:
+    """Combine several generated sequences into one workload.
+
+    With ``interleave=False`` the parts are concatenated; with
+    ``interleave=True`` requests are merged in random order while preserving
+    the relative order within each part (a crude model of concurrent request
+    streams sharing one cache).
+    """
+    if not parts:
+        raise ConfigurationError("need at least one part")
+    if not interleave:
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = combined.concat(part)
+        return combined
+    rng = _rng(seed)
+    cursors = [0] * len(parts)
+    remaining = sum(len(p) for p in parts)
+    requests: List[BlockId] = []
+    while remaining > 0:
+        weights = np.array([len(p) - c for p, c in zip(parts, cursors)], dtype=float)
+        weights /= weights.sum()
+        idx = int(rng.choice(len(parts), p=weights))
+        requests.append(parts[idx][cursors[idx]])
+        cursors[idx] += 1
+        remaining -= 1
+    return RequestSequence(requests)

@@ -1,0 +1,110 @@
+"""Tests for the parallel-disk baselines and the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    Aggressive,
+    Delay,
+    DemandFetch,
+    ParallelAggressive,
+    ParallelConservative,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.disksim import DiskLayout, ProblemInstance, execute_schedule, simulate
+from repro.errors import ConfigurationError
+from repro.workloads import parallel_disk_example, uniform_random
+from repro.workloads.multidisk import striped_instance
+
+
+def _parallel_instances():
+    instances = [parallel_disk_example()]
+    for seed, disks in [(1, 2), (2, 3), (3, 4)]:
+        sequence = uniform_random(30, 12, seed=seed, prefix=f"p{seed}_")
+        instances.append(striped_instance(sequence, 6, 4, disks))
+    return instances
+
+
+class TestParallelAggressive:
+    def test_feasible_and_replayable(self):
+        for instance in _parallel_instances():
+            result = simulate(instance, ParallelAggressive())
+            replay = execute_schedule(instance, result.schedule)
+            assert replay.stall_time == result.stall_time
+            assert result.metrics.peak_cache_used <= instance.cache_size
+
+    def test_uses_multiple_disks(self):
+        instance = striped_instance(uniform_random(40, 16, seed=5), 6, 4, 2)
+        result = simulate(instance, ParallelAggressive())
+        assert set(result.metrics.fetches_per_disk) == {0, 1}
+
+    def test_beats_demand_on_striped_scans(self):
+        from repro.workloads import sequential_scan
+
+        instance = striped_instance(sequential_scan(30), 4, 4, 2)
+        parallel = simulate(instance, ParallelAggressive()).elapsed_time
+        demand = simulate(instance, DemandFetch()).elapsed_time
+        assert parallel < demand
+
+    def test_parallelism_helps_over_single_disk_layout(self):
+        from repro.workloads import sequential_scan
+
+        sequence = sequential_scan(30)
+        one_disk = ProblemInstance.single_disk(sequence, cache_size=4, fetch_time=4)
+        two_disks = striped_instance(sequence, 4, 4, 2)
+        single = simulate(one_disk, Aggressive()).elapsed_time
+        dual = simulate(two_disks, ParallelAggressive()).elapsed_time
+        assert dual <= single
+
+    def test_reduces_to_aggressive_on_one_disk(self):
+        sequence = uniform_random(30, 10, seed=7)
+        instance = ProblemInstance.single_disk(sequence, cache_size=5, fetch_time=3)
+        assert (
+            simulate(instance, ParallelAggressive()).elapsed_time
+            == simulate(instance, Aggressive()).elapsed_time
+        )
+
+
+class TestParallelConservative:
+    def test_feasible_and_replayable(self):
+        for instance in _parallel_instances():
+            result = simulate(instance, ParallelConservative())
+            replay = execute_schedule(instance, result.schedule)
+            assert replay.stall_time == result.stall_time
+
+    def test_not_worse_than_demand(self):
+        for instance in _parallel_instances():
+            conservative = simulate(instance, ParallelConservative()).elapsed_time
+            demand = simulate(instance, DemandFetch()).elapsed_time
+            assert conservative <= demand
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_algorithms()
+        for expected in ("aggressive", "conservative", "combination", "demand"):
+            assert expected in names
+
+    def test_make_algorithm(self):
+        assert isinstance(make_algorithm("aggressive"), Aggressive)
+        delay = make_algorithm("delay:5")
+        assert isinstance(delay, Delay)
+        assert delay.d == 5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("does-not-exist")
+
+    def test_delay_without_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("delay")
+        with pytest.raises(ConfigurationError):
+            make_algorithm("delay:x")
+
+    def test_registration(self):
+        from repro.algorithms import register_algorithm
+
+        register_algorithm("custom-aggressive", Aggressive)
+        assert isinstance(make_algorithm("custom-aggressive"), Aggressive)

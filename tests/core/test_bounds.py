@@ -1,0 +1,110 @@
+"""Tests for the Section 2 closed-form bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    SQRT3,
+    SingleDiskBounds,
+    aggressive_bound_cao,
+    aggressive_bound_refined,
+    aggressive_lower_bound,
+    best_delay_parameter,
+    combination_bound,
+    conservative_bound,
+    delay_best_bound,
+    delay_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAggressiveBounds:
+    def test_cao_values(self):
+        assert aggressive_bound_cao(8, 4) == 1.5
+        assert aggressive_bound_cao(4, 8) == 2.0
+
+    def test_refined_examples(self):
+        # k=8, F=4: 1 + 4/(8 + 2 - 1) = 1.3636...
+        assert aggressive_bound_refined(8, 4) == pytest.approx(1 + 4 / 9)
+        # F >= k caps at 2.
+        assert aggressive_bound_refined(4, 8) == 2.0
+
+    def test_lower_bound_examples(self):
+        # k=13, F=4: 1 + 4/(13 + 12/3) = 1 + 4/17
+        assert aggressive_lower_bound(13, 4) == pytest.approx(1 + 4 / 17)
+        assert aggressive_lower_bound(5, 1) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            aggressive_bound_refined(0, 4)
+        with pytest.raises(ConfigurationError):
+            aggressive_bound_refined(4, 0)
+        with pytest.raises(ConfigurationError):
+            delay_bound(-1, 4)
+
+    def test_conservative_is_two(self):
+        assert conservative_bound() == 2.0
+
+
+class TestDelayBounds:
+    def test_delay_zero_is_at_most_two_sided(self):
+        # d=0: max{1, 2, 3/2} = 2 (the Aggressive end of the spectrum).
+        assert delay_bound(0, 10) == 2.0
+
+    def test_best_delay_parameter_scales_with_f(self):
+        assert best_delay_parameter(10) == math.ceil((SQRT3 - 1) / 2 * 10)
+        assert best_delay_parameter(1) == 1
+
+    def test_best_delay_tends_to_sqrt3(self):
+        for fetch_time in (10, 100, 1000, 10000):
+            assert delay_best_bound(fetch_time) >= SQRT3 - 1e-9
+        assert delay_best_bound(100000) == pytest.approx(SQRT3, abs=1e-3)
+
+    def test_combination_bound_is_min(self):
+        for k, fetch_time in [(8, 4), (64, 4), (4, 16), (100, 10)]:
+            assert combination_bound(k, fetch_time) == pytest.approx(
+                min(aggressive_bound_refined(k, fetch_time), delay_best_bound(fetch_time))
+            )
+
+
+class TestSingleDiskBounds:
+    def test_container_consistency(self):
+        bounds = SingleDiskBounds(cache_size=16, fetch_time=8)
+        payload = bounds.as_dict()
+        assert payload["aggressive_refined"] == aggressive_bound_refined(16, 8)
+        assert payload["d0"] == best_delay_parameter(8)
+        assert payload["combination"] == combination_bound(16, 8)
+        assert payload["conservative"] == 2.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(k=st.integers(min_value=1, max_value=500), fetch_time=st.integers(min_value=1, max_value=200))
+def test_property_bound_relationships(k, fetch_time):
+    """Structural facts the paper states about the bounds."""
+    refined = aggressive_bound_refined(k, fetch_time)
+    cao = aggressive_bound_cao(k, fetch_time)
+    lower = aggressive_lower_bound(k, fetch_time)
+    combo = combination_bound(k, fetch_time)
+    # Theorem 1 improves on Cao et al. and never goes below the Theorem 2 bound.
+    assert refined <= cao + 1e-12
+    assert lower <= refined + 1e-12
+    # All ratios live in [1, 2].
+    assert 1.0 <= refined <= 2.0
+    assert 1.0 <= lower <= 2.0
+    # Combination is at least as good as both classical algorithms.
+    assert combo <= refined + 1e-12
+    assert combo <= conservative_bound() + 1e-12
+    # The best delay ratio is always within [sqrt(3), 2].
+    assert SQRT3 - 1e-9 <= delay_best_bound(fetch_time) <= 2.0 + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(d=st.integers(min_value=0, max_value=500), fetch_time=st.integers(min_value=1, max_value=200))
+def test_property_delay_bound_never_below_sqrt3(d, fetch_time):
+    """No choice of d can push the Theorem 3 bound below sqrt(3)."""
+    assert delay_bound(d, fetch_time) >= SQRT3 - 1e-9

@@ -1,0 +1,113 @@
+"""Tests for repro.disksim.cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disksim import CacheState
+from repro.errors import CacheError, ConfigurationError
+
+
+class TestConstruction:
+    def test_initial_contents(self):
+        cache = CacheState(3, ["a", "b"])
+        assert cache.contains("a")
+        assert cache.contains("b")
+        assert not cache.contains("c")
+        assert cache.capacity == 3
+        assert cache.free_slots == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheState(0)
+
+    def test_overfull_initial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheState(1, ["a", "b"])
+
+
+class TestFetchLifecycle:
+    def test_start_and_complete_fetch_with_victim(self):
+        cache = CacheState(2, ["a", "b"])
+        cache.start_fetch("c", "a")
+        assert not cache.contains("a")
+        assert cache.is_incoming("c")
+        assert not cache.contains("c")
+        assert cache.used_slots == 2
+        cache.complete_fetch("c")
+        assert cache.contains("c")
+        assert not cache.is_incoming("c")
+
+    def test_start_fetch_into_free_slot(self):
+        cache = CacheState(2, ["a"])
+        cache.start_fetch("b", None)
+        assert cache.free_slots == 0
+        cache.complete_fetch("b")
+        assert cache.contains("b")
+
+    def test_fetch_requires_free_slot_when_no_victim(self):
+        cache = CacheState(1, ["a"])
+        with pytest.raises(CacheError):
+            cache.start_fetch("b", None)
+
+    def test_fetch_of_resident_block_rejected(self):
+        cache = CacheState(2, ["a"])
+        with pytest.raises(CacheError):
+            cache.start_fetch("a", None)
+
+    def test_duplicate_inflight_fetch_rejected(self):
+        cache = CacheState(3, ["a"])
+        cache.start_fetch("b", None)
+        with pytest.raises(CacheError):
+            cache.start_fetch("b", None)
+
+    def test_victim_must_be_resident(self):
+        cache = CacheState(2, ["a"])
+        with pytest.raises(CacheError):
+            cache.start_fetch("b", "zzz")
+
+    def test_victim_cannot_equal_block(self):
+        cache = CacheState(2, ["a"])
+        with pytest.raises(CacheError):
+            cache.start_fetch("a", "a")
+
+    def test_complete_without_fetch_rejected(self):
+        cache = CacheState(2, ["a"])
+        with pytest.raises(CacheError):
+            cache.complete_fetch("b")
+
+
+class TestOtherTransitions:
+    def test_evict(self):
+        cache = CacheState(2, ["a", "b"])
+        cache.evict("a")
+        assert not cache.contains("a")
+        with pytest.raises(CacheError):
+            cache.evict("a")
+
+    def test_insert(self):
+        cache = CacheState(2, ["a"])
+        cache.insert("b")
+        assert cache.contains("b")
+        with pytest.raises(CacheError):
+            cache.insert("b")
+
+    def test_insert_requires_space(self):
+        cache = CacheState(1, ["a"])
+        with pytest.raises(CacheError):
+            cache.insert("b")
+
+    def test_copy_is_independent(self):
+        cache = CacheState(3, ["a"])
+        cache.start_fetch("b", None)
+        clone = cache.copy()
+        clone.complete_fetch("b")
+        assert clone.contains("b")
+        assert not cache.contains("b")
+        assert cache.is_incoming("b")
+
+    def test_len_and_contains_protocols(self):
+        cache = CacheState(3, ["a", "b"])
+        assert len(cache) == 2
+        assert "a" in cache
+        assert "z" not in cache

@@ -1,0 +1,58 @@
+"""Tests for repro.disksim.metrics and repro.disksim.events."""
+
+from __future__ import annotations
+
+from repro.disksim import Event, EventKind, EventLog, SimMetrics
+
+
+class TestSimMetrics:
+    def test_elapsed_and_rates(self):
+        metrics = SimMetrics(
+            num_requests=10,
+            stall_time=4,
+            num_fetches=3,
+            cache_hits=7,
+            cache_misses=3,
+            peak_cache_used=5,
+        )
+        assert metrics.elapsed_time == 14
+        assert metrics.hit_rate == 0.7
+        assert metrics.average_stall_per_request == 0.4
+        assert metrics.extra_cache_used(4) == 1
+        assert metrics.extra_cache_used(6) == 0
+
+    def test_ratios(self):
+        a = SimMetrics(num_requests=10, stall_time=6, num_fetches=2)
+        b = SimMetrics(num_requests=10, stall_time=3, num_fetches=2)
+        zero = SimMetrics(num_requests=10, stall_time=0, num_fetches=0)
+        assert a.stall_ratio_to(b) == 2.0
+        assert a.elapsed_ratio_to(b) == 16 / 13
+        assert a.stall_ratio_to(zero) == float("inf")
+        assert zero.stall_ratio_to(zero) == 1.0
+
+    def test_as_dict_round_trip(self):
+        metrics = SimMetrics(num_requests=5, stall_time=1, num_fetches=2,
+                             fetches_per_disk={0: 2})
+        payload = metrics.as_dict()
+        assert payload["elapsed_time"] == 6
+        assert payload["fetches_per_disk"] == {0: 2}
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(Event(0, EventKind.FETCH_START, block="a", disk=0))
+        log.record(Event(0, EventKind.STALL, block="a", duration=3))
+        log.record(Event(3, EventKind.SERVE, block="a", request_index=0, duration=1))
+        assert len(log) == 3
+        assert log.total_stall() == 3
+        assert len(log.fetch_starts()) == 1
+        assert len(log.serves()) == 1
+        assert log.last_time() == 4
+        assert log[0].kind is EventKind.FETCH_START
+
+    def test_empty_log(self):
+        log = EventLog()
+        assert log.total_stall() == 0
+        assert log.last_time() == 0
+        assert list(log) == []

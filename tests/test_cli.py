@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main, parse_workload
+from repro.disksim import RequestSequence
+from repro.errors import ConfigurationError
+
+
+class TestParseWorkload:
+    def test_zipf_spec(self):
+        sequence = parse_workload("zipf:n=30,blocks=8,skew=0.5,seed=1")
+        assert isinstance(sequence, RequestSequence)
+        assert len(sequence) == 30
+        assert sequence.num_distinct <= 8
+
+    def test_defaults(self):
+        assert len(parse_workload("uniform")) == 200
+
+    def test_trace_spec(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a\nb\na\n")
+        assert list(parse_workload(f"trace:path={path}")) == ["a", "b", "a"]
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            parse_workload("nope:n=3")
+
+
+class TestCommands:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "-w",
+                "loop:blocks=10,loops=2",
+                "-k",
+                "6",
+                "-F",
+                "3",
+                "-a",
+                "aggressive",
+                "--gantt",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggressive" in out
+        assert "stall_time" in out
+        assert "legend" in out
+
+    def test_compare_command(self, capsys):
+        code = main(
+            [
+                "compare",
+                "-w",
+                "zipf:n=30,blocks=8,seed=2",
+                "-k",
+                "5",
+                "-F",
+                "3",
+                "-a",
+                "aggressive,conservative",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal stall" in out
+        assert "conservative" in out
+
+    def test_lowerbound_command(self, capsys):
+        code = main(["lowerbound", "-k", "7", "-F", "4", "--phases", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "thm2_bound" in out
+
+    def test_bounds_command(self, capsys):
+        code = main(["bounds", "--cache-sizes", "8,16", "--fetch-times", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggressive_refined" in out
+
+    def test_error_exit_code(self, capsys):
+        code = main(["simulate", "-w", "unknown:workload"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error" in err

@@ -1,0 +1,199 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import Aggressive
+from repro.disksim import RequestSequence, execute_interval_schedule, simulate
+from repro.errors import ConfigurationError, InvalidSequenceError
+from repro.workloads import (
+    cao_f_ge_k_sequence,
+    database_join_trace,
+    file_scan_trace,
+    first_seen_round_robin_instance,
+    hashed_instance,
+    load_trace,
+    looping_scan,
+    mixed_phases,
+    multimedia_stream_trace,
+    parallel_disk_example,
+    parallel_disk_example_schedule,
+    partitioned_instance,
+    save_trace,
+    sequential_scan,
+    single_disk_example,
+    single_disk_example_good_schedule,
+    single_disk_example_greedy_schedule,
+    strided_scan,
+    striped_instance,
+    theorem2_parameters,
+    theorem2_sequence,
+    uniform_random,
+    working_set_shift,
+    zipf,
+)
+
+
+class TestPaperExamples:
+    def test_single_disk_numbers(self):
+        instance = single_disk_example()
+        assert instance.num_requests == 10
+        good = execute_interval_schedule(instance, single_disk_example_good_schedule())
+        greedy = execute_interval_schedule(instance, single_disk_example_greedy_schedule())
+        assert good.elapsed_time == 11 and good.stall_time == 1
+        assert greedy.elapsed_time == 13 and greedy.stall_time == 3
+
+    def test_parallel_disk_numbers(self):
+        instance = parallel_disk_example()
+        result = execute_interval_schedule(instance, parallel_disk_example_schedule())
+        assert result.stall_time == 3
+        assert instance.num_disks == 2
+
+
+class TestAdversarial:
+    def test_theorem2_structure(self):
+        construction = theorem2_sequence(k=13, fetch_time=4, num_phases=3)
+        instance = construction.instance
+        l = (13 - 1) // (4 - 1)
+        assert construction.blocks_per_phase == l
+        assert construction.phase_length == 13 + l
+        assert instance.num_requests == 3 * (13 + l)
+        assert len(instance.initial_cache) == 13
+        assert construction.aggressive_time_per_phase == 13 + l + 4
+        assert construction.optimal_time_per_phase == 13 + l + 2
+        assert 1.0 < construction.predicted_ratio < 2.0
+        assert construction.asymptotic_ratio == pytest.approx(1 + 4 / (13 + 12 / 3))
+
+    def test_theorem2_aggressive_behaviour(self):
+        """Aggressive pays about F - 2 extra time units per phase, as the proof predicts."""
+        construction = theorem2_sequence(k=13, fetch_time=4, num_phases=6)
+        result = simulate(construction.instance, Aggressive())
+        predicted = construction.num_phases * construction.aggressive_time_per_phase
+        # The last phase needs no trailing refetch, so allow a slack of one phase.
+        assert predicted - construction.aggressive_time_per_phase <= result.elapsed_time
+        assert result.elapsed_time <= predicted
+
+    def test_theorem2_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem2_sequence(k=11, fetch_time=4, num_phases=2)  # (F-1) does not divide (k-1)
+        with pytest.raises(ConfigurationError):
+            theorem2_sequence(k=4, fetch_time=8, num_phases=2)  # F > k
+        with pytest.raises(ConfigurationError):
+            theorem2_sequence(k=13, fetch_time=4, num_phases=0)
+
+    def test_theorem2_parameters_generator(self):
+        pairs = list(theorem2_parameters(max_cache=13, max_fetch=5))
+        assert (13, 4) in pairs
+        assert all((k - 1) % (f - 1) == 0 and f <= k for k, f in pairs)
+
+    def test_cao_cycle_misses_everything(self):
+        instance = cao_f_ge_k_sequence(k=4, fetch_time=6, num_cycles=3)
+        assert instance.num_requests == 3 * 5
+        result = simulate(instance, Aggressive())
+        # With F >= k and a cyclic scan of k+1 blocks no fetch can be fully hidden.
+        assert result.stall_time > 0
+
+
+class TestSynthetic:
+    def test_deterministic_with_seed(self):
+        assert list(zipf(50, 10, seed=3)) == list(zipf(50, 10, seed=3))
+        assert list(uniform_random(50, 10, seed=3)) != list(uniform_random(50, 10, seed=4))
+
+    def test_sizes(self):
+        assert len(uniform_random(33, 7)) == 33
+        assert len(zipf(20, 5)) == 20
+        assert len(sequential_scan(9, repeats_per_block=2)) == 18
+        assert len(strided_scan(10, 3, 25)) == 25
+        assert len(looping_scan(6, 4)) == 24
+        assert len(working_set_shift(3, 5, 10)) == 30
+
+    def test_zipf_skew_concentrates_references(self):
+        skewed = zipf(2000, 50, skew=1.5, seed=0)
+        flat = zipf(2000, 50, skew=0.0, seed=0)
+        top_block = max(skewed.distinct_blocks, key=lambda b: len(skewed.positions(b)))
+        share_skewed = len(skewed.positions(top_block)) / 2000
+        top_block_flat = max(flat.distinct_blocks, key=lambda b: len(flat.positions(b)))
+        share_flat = len(flat.positions(top_block_flat)) / 2000
+        assert share_skewed > share_flat
+
+    def test_looping_scan_repeats_blocks(self):
+        scan = looping_scan(5, 3)
+        assert scan.num_distinct == 5
+        assert scan.positions(scan[0]) == (0, 5, 10)
+
+    def test_working_set_shift_overlap(self):
+        shifted = working_set_shift(2, 4, 20, overlap=2, seed=1)
+        assert shifted.num_distinct <= 6  # 4 + (4 - 2)
+
+    def test_mixed_phases_concat_and_interleave(self):
+        a = sequential_scan(5, prefix="a")
+        b = sequential_scan(5, prefix="b")
+        concat = mixed_phases([a, b])
+        assert len(concat) == 10 and list(concat)[:5] == list(a)
+        interleaved = mixed_phases([a, b], interleave=True, seed=0)
+        assert len(interleaved) == 10
+        assert [x for x in interleaved if str(x).startswith("a")] == list(a)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            uniform_random(0, 5)
+        with pytest.raises(ConfigurationError):
+            zipf(10, 5, skew=-1)
+        with pytest.raises(ConfigurationError):
+            working_set_shift(1, 3, 5, overlap=3)
+        with pytest.raises(ConfigurationError):
+            mixed_phases([])
+
+
+class TestTraces:
+    def test_generators_shapes(self):
+        assert len(file_scan_trace(3, 4)) >= 12
+        join = database_join_trace(3, 5)
+        assert len(join) == 3 * (1 + 5)
+        stream = multimedia_stream_trace(2, 6)
+        assert len(stream) == 12
+        # streams are interleaved round-robin
+        assert str(stream[0]).startswith("st0_") and str(stream[1]).startswith("st1_")
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        sequence = zipf(30, 8, seed=2)
+        path = tmp_path / "trace.txt"
+        save_trace(sequence, path)
+        loaded = load_trace(path)
+        assert [str(b) for b in sequence] == list(loaded)
+
+    def test_load_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        with pytest.raises(InvalidSequenceError):
+            load_trace(path)
+
+
+class TestMultidisk:
+    def test_striped_instance_covers_all_blocks(self):
+        sequence = uniform_random(40, 12, seed=1)
+        instance = striped_instance(sequence, 6, 4, 3)
+        assert instance.num_disks == 3
+        disks_used = {instance.disk_of(b) for b in sequence.distinct_blocks}
+        assert disks_used == {0, 1, 2}
+
+    def test_first_seen_round_robin_alternates(self):
+        sequence = RequestSequence(["a", "b", "c", "d"])
+        instance = first_seen_round_robin_instance(sequence, 2, 2, 2)
+        assert instance.disk_of("a") == 0
+        assert instance.disk_of("b") == 1
+        assert instance.disk_of("c") == 0
+
+    def test_hashed_instance_deterministic(self):
+        sequence = uniform_random(30, 10, seed=0)
+        a = hashed_instance(sequence, 4, 2, 2)
+        b = hashed_instance(sequence, 4, 2, 2)
+        assert all(a.disk_of(x) == b.disk_of(x) for x in sequence.distinct_blocks)
+
+    def test_partitioned_instance_requires_full_coverage(self):
+        sequence = RequestSequence(["a", "b", "c"])
+        with pytest.raises(ConfigurationError):
+            partitioned_instance(sequence, 2, 2, [["a"], ["b"]])
+        instance = partitioned_instance(sequence, 2, 2, [["a", "c"], ["b"]])
+        assert instance.disk_of("c") == 0
