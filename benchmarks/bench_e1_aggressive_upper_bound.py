@@ -9,10 +9,9 @@ adversarial family pushing measured close to the Theorem 2 value.
 
 from __future__ import annotations
 
-from repro.algorithms import Aggressive
-from repro.analysis import format_table
+from repro.analysis import evaluate_instances, format_table
 from repro.core.bounds import SingleDiskBounds
-from repro.disksim import ProblemInstance, simulate
+from repro.disksim import ProblemInstance
 from repro.lp import optimal_single_disk
 from repro.workloads import theorem2_sequence, zipf
 
@@ -39,9 +38,10 @@ def _instance(k: int, fetch_time: int, kind: str) -> ProblemInstance:
 
 def test_e1_aggressive_upper_bound(benchmark):
     instances = {(k, f, kind): _instance(k, f, kind) for k, f, kind in GRID}
+    labeled = [(f"k={k} F={f} {kind}", inst) for (k, f, kind), inst in instances.items()]
 
     def run():
-        return {key: simulate(inst, Aggressive()).elapsed_time for key, inst in instances.items()}
+        return evaluate_instances(labeled, ["aggressive"]).metric("elapsed_time")
 
     elapsed = benchmark(run)
 
@@ -49,7 +49,7 @@ def test_e1_aggressive_upper_bound(benchmark):
     for (k, fetch_time, kind), instance in instances.items():
         optimum = optimal_single_disk(instance).elapsed_time
         bounds = SingleDiskBounds(k, fetch_time)
-        ratio = elapsed[(k, fetch_time, kind)] / optimum
+        ratio = elapsed[f"k={k} F={fetch_time} {kind} alg=aggressive"] / optimum
         rows.append(
             {
                 "k": k,

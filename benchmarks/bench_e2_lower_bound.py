@@ -9,9 +9,7 @@ the predicted per-phase ratio, which approaches the Theorem 2 bound.
 
 from __future__ import annotations
 
-from repro.algorithms import Aggressive
-from repro.analysis import format_table
-from repro.disksim import simulate
+from repro.analysis import evaluate_instances, format_table
 from repro.lp import optimal_single_disk
 from repro.workloads import theorem2_sequence
 
@@ -26,11 +24,11 @@ def test_e2_lower_bound_construction(benchmark):
         for k, fetch_time, phases in GRID
     }
 
+    labeled = [(f"k={k} F={f}", c.instance) for (k, f), c in constructions.items()]
+
     def run():
-        return {
-            key: simulate(c.instance, Aggressive()).elapsed_time
-            for key, c in constructions.items()
-        }
+        elapsed = evaluate_instances(labeled, ["aggressive"]).metric("elapsed_time")
+        return {key: elapsed[f"k={key[0]} F={key[1]} alg=aggressive"] for key in constructions}
 
     measured = benchmark(run)
 

@@ -9,10 +9,9 @@ d0 = (sqrt(3)-1)F/2.
 
 from __future__ import annotations
 
-from repro.algorithms import Delay
-from repro.analysis import format_table
+from repro.analysis import evaluate_instances, format_table
 from repro.core.bounds import best_delay_parameter, delay_bound
-from repro.disksim import ProblemInstance, simulate
+from repro.disksim import ProblemInstance
 from repro.lp import optimal_single_disk
 from repro.workloads import theorem2_sequence, zipf
 
@@ -36,12 +35,16 @@ def _instances():
 def test_e3_delay_parameter_sweep(benchmark):
     instances = _instances()
     optima = [optimal_single_disk(instance).elapsed_time for instance in instances]
+    labeled = [(f"i{i}", instance) for i, instance in enumerate(instances)]
 
     def run():
-        table = {}
-        for d in DELAYS:
-            table[d] = [simulate(instance, Delay(d)).elapsed_time for instance in instances]
-        return table
+        elapsed = evaluate_instances(
+            labeled, [f"delay:{d}" for d in DELAYS]
+        ).metric("elapsed_time")
+        return {
+            d: [elapsed[f"i{i} alg=delay:{d}"] for i in range(len(instances))]
+            for d in DELAYS
+        }
 
     measured = benchmark(run)
 

@@ -8,12 +8,12 @@ of the two classical algorithms.
 
 from __future__ import annotations
 
-from repro.algorithms import Aggressive, Combination, Conservative
-from repro.analysis import format_table
+from repro.algorithms import Combination
+from repro.analysis import evaluate_instances, format_table
 from repro.core.bounds import combination_bound
-from repro.disksim import ProblemInstance, simulate
+from repro.disksim import ProblemInstance
 from repro.lp import optimal_single_disk
-from repro.workloads import theorem2_sequence, uniform_random, zipf
+from repro.workloads import zipf
 
 from conftest import emit
 
@@ -28,15 +28,15 @@ def _instance(k: int, fetch_time: int) -> ProblemInstance:
 def test_e4_combination(benchmark):
     instances = {key: _instance(*key) for key in GRID}
 
+    labeled = [(f"k={k} F={f}", inst) for (k, f), inst in instances.items()]
+    algorithms = ["combination", "aggressive", "conservative"]
+
     def run():
-        out = {}
-        for key, instance in instances.items():
-            out[key] = {
-                "combination": simulate(instance, Combination()).elapsed_time,
-                "aggressive": simulate(instance, Aggressive()).elapsed_time,
-                "conservative": simulate(instance, Conservative()).elapsed_time,
-            }
-        return out
+        elapsed = evaluate_instances(labeled, algorithms).metric("elapsed_time")
+        return {
+            (k, f): {alg: elapsed[f"k={k} F={f} alg={alg}"] for alg in algorithms}
+            for (k, f) in instances
+        }
 
     measured = benchmark(run)
 

@@ -7,9 +7,8 @@ relative to the inter-reference distances (the F >= k cyclic scan).
 
 from __future__ import annotations
 
-from repro.algorithms import Conservative, DemandFetch
-from repro.analysis import format_table
-from repro.disksim import ProblemInstance, simulate
+from repro.analysis import evaluate_instances, format_table
+from repro.disksim import ProblemInstance
 from repro.lp import optimal_single_disk
 from repro.workloads import cao_f_ge_k_sequence, looping_scan, zipf
 
@@ -33,12 +32,15 @@ def test_e5_conservative_two_approximation(benchmark):
     instances = _instances()
 
     def run():
+        elapsed = evaluate_instances(
+            instances.items(), ["conservative", "demand"]
+        ).metric("elapsed_time")
         return {
             label: {
-                "conservative": simulate(instance, Conservative()).elapsed_time,
-                "demand": simulate(instance, DemandFetch()).elapsed_time,
+                "conservative": elapsed[f"{label} alg=conservative"],
+                "demand": elapsed[f"{label} alg=demand"],
             }
-            for label, instance in instances.items()
+            for label in instances
         }
 
     measured = benchmark(run)

@@ -9,9 +9,7 @@ grows, while the Theorem 4 schedule stays at the optimum by construction.
 
 from __future__ import annotations
 
-from repro.algorithms import DemandFetch, ParallelAggressive, ParallelConservative
-from repro.analysis import format_table
-from repro.disksim import simulate
+from repro.analysis import evaluate_instances, format_table
 from repro.lp import optimal_parallel_schedule
 from repro.workloads import uniform_random
 from repro.workloads.multidisk import striped_instance
@@ -29,15 +27,15 @@ def _instance(num_disks: int):
 def test_e8_parallel_baselines(benchmark):
     instances = {d: _instance(d) for d in DISKS}
 
+    labeled = [(f"D={d}", instance) for d, instance in instances.items()]
+    algorithms = ["parallel-aggressive", "parallel-conservative", "demand"]
+
     def run():
-        out = {}
-        for d, instance in instances.items():
-            out[d] = {
-                "parallel-aggressive": simulate(instance, ParallelAggressive()).stall_time,
-                "parallel-conservative": simulate(instance, ParallelConservative()).stall_time,
-                "demand": simulate(instance, DemandFetch()).stall_time,
-            }
-        return out
+        stall = evaluate_instances(labeled, algorithms).metric("stall_time")
+        return {
+            d: {alg: stall[f"D={d} alg={alg}"] for alg in algorithms}
+            for d in instances
+        }
 
     measured = benchmark(run)
 

@@ -41,10 +41,8 @@ class Aggressive(PrefetchAlgorithm):
             # A free cache slot (cold start, or the extra-memory experiments):
             # fetching into it is always safe and never worse than evicting.
             return self.single_disk_decision(view.instance.sequence[target], None)
-        victim = view.furthest_resident()
+        victim = view.evictable_for(target)
         if victim is None:
-            return []
-        if view.next_use(victim) <= target:
             # Every cached block is requested before the next missing block;
             # Aggressive waits (serving requests) until that changes.
             return []

@@ -45,7 +45,7 @@ class ParallelAggressive(PrefetchAlgorithm):
         promised_blocks: Set[BlockId] = set()
         free_slots = view.free_slots
         for disk in view.idle_disks():
-            target = self._next_missing_on(view, disk, promised_blocks)
+            target = view.next_missing_position(on_disk=disk, exclude=promised_blocks)
             if target is None:
                 continue
             block = view.instance.sequence[target]
@@ -54,41 +54,13 @@ class ParallelAggressive(PrefetchAlgorithm):
                 promised_blocks.add(block)
                 free_slots -= 1
                 continue
-            victim = self._victim(view, target, promised_victims)
-            if victim is None:
+            victim = view.furthest_resident(exclude=promised_victims)
+            if victim is None or view.next_use(victim) <= target:
                 continue
             decisions.append(FetchDecision(disk=disk, block=block, victim=victim))
             promised_victims.add(victim)
             promised_blocks.add(block)
         return decisions
-
-    @staticmethod
-    def _next_missing_on(
-        view: PolicyView, disk: int, promised_blocks: Set[BlockId]
-    ) -> Optional[int]:
-        seq = view.instance.sequence
-        present = view.resident | view.incoming | promised_blocks
-        skipped: Set[BlockId] = set()
-        for pos in range(view.cursor, len(seq)):
-            block = seq[pos]
-            if block in present or block in skipped:
-                continue
-            if view.instance.disk_of(block) != disk:
-                skipped.add(block)
-                continue
-            return pos
-        return None
-
-    @staticmethod
-    def _victim(view: PolicyView, target: int, promised: Set[BlockId]) -> Optional[BlockId]:
-        seq = view.instance.sequence
-        candidates = [b for b in view.resident if b not in promised]
-        if not candidates:
-            return None
-        victim = max(candidates, key=lambda b: (seq.next_use_from(view.cursor, b), str(b)))
-        if seq.next_use_from(view.cursor, victim) <= target:
-            return None
-        return victim
 
 
 @dataclass(frozen=True)
@@ -163,8 +135,4 @@ class ParallelConservative(PrefetchAlgorithm):
 
     @staticmethod
     def _fallback_victim(view: PolicyView, promised: Set[BlockId]) -> Optional[BlockId]:
-        seq = view.instance.sequence
-        candidates = [b for b in view.resident if b not in promised]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda b: (seq.next_use_from(view.cursor, b), str(b)))
+        return view.furthest_resident(exclude=promised)

@@ -4,9 +4,23 @@ from .compare import ScheduleDiff, diff_schedules, summarize_result
 from .optimal import BruteForceResult, brute_force_optimal_stall
 from .ratios import AlgorithmMeasurement, RatioReport, measure_parallel_stall, measure_ratios
 from .reporting import format_comparison, format_report, format_table
+from .runner import (
+    ExperimentPoint,
+    ExperimentRun,
+    ExperimentSpec,
+    evaluate_instances,
+    instance_fingerprint,
+    run_experiments,
+)
 from .sweep import SweepPoint, SweepResult, run_sweep
 
 __all__ = [
+    "ExperimentPoint",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "evaluate_instances",
+    "instance_fingerprint",
+    "run_experiments",
     "ScheduleDiff",
     "diff_schedules",
     "summarize_result",

@@ -1,0 +1,411 @@
+"""Batched experiment runner: declarative grids, process fan-out, caching.
+
+This is the scale harness the benchmark scripts and the ``repro sweep``
+command drive (see DESIGN.md §6).  It replaces the serial
+:func:`repro.analysis.sweep.run_sweep` loop as the way experiments are
+executed:
+
+* **Declarative grids** — an :class:`ExperimentSpec` names workload specs
+  (the portable strings of :mod:`repro.workloads.spec`), cache sizes, fetch
+  times, disk counts, seeds and algorithm specs; the runner expands the
+  cross product into :class:`ExperimentPoint` s.
+
+* **Process fan-out** — points are independent, so they run under a
+  ``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1``.
+  Determinism is preserved by construction: a point is regenerated from its
+  spec inside the worker (all workload generators take explicit seeds), and
+  results are collected in grid order regardless of completion order, so
+  serial and parallel runs emit byte-identical JSON.
+
+* **Result caching** — each point's result can be cached on disk, keyed by a
+  SHA-256 fingerprint of the *instance content* (sequence, cache size, fetch
+  time, layout, warm set), the algorithm spec and the engine.  Re-running a
+  sweep after editing an unrelated grid axis only simulates the new points.
+
+* **Uniform emission** — :class:`ExperimentRun` renders to row dictionaries,
+  JSON (sorted keys, stable order) and CSV, so every benchmark script and
+  the CLI produce the same shape of output.
+
+Simulation-only measurements (stall/elapsed/fetches) scale to millions of
+requests; LP-backed ratio measurement stays in
+:mod:`repro.analysis.ratios`, which the runner calls per point only when
+``compare_optimal`` is requested.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..algorithms.registry import make_algorithm
+from ..disksim.executor import simulate
+from ..disksim.instance import ProblemInstance
+from ..errors import ConfigurationError
+from ..workloads.multidisk import striped_instance
+from ..workloads.spec import parse_workload, with_spec_params
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentPoint",
+    "ExperimentRun",
+    "instance_fingerprint",
+    "run_experiments",
+    "evaluate_instances",
+]
+
+
+# ---------------------------------------------------------------------------------
+# grid declaration
+# ---------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment grid.
+
+    The cross product ``workloads x seeds x disks x cache_sizes x fetch_times
+    x algorithms`` defines the points.  ``seeds`` is applied by rewriting the
+    workload spec's ``seed`` parameter (generators without a seed parameter
+    simply ignore it); leave it at ``(None,)`` to take the specs verbatim.
+    """
+
+    name: str
+    workloads: Tuple[str, ...]
+    cache_sizes: Tuple[int, ...]
+    fetch_times: Tuple[int, ...]
+    algorithms: Tuple[str, ...]
+    disks: Tuple[int, ...] = (1,)
+    seeds: Tuple[Optional[int], ...] = (None,)
+    engine: str = "indexed"
+
+    def __post_init__(self):
+        for axis in ("workloads", "cache_sizes", "fetch_times", "algorithms", "disks", "seeds"):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        if not all([self.workloads, self.cache_sizes, self.fetch_times, self.algorithms]):
+            raise ConfigurationError("every grid axis needs at least one entry")
+
+    def points(self) -> List["ExperimentPoint"]:
+        """The grid points in deterministic (nested-loop) order."""
+        out: List[ExperimentPoint] = []
+        for workload in self.workloads:
+            for seed in self.seeds:
+                spec = workload if seed is None else with_spec_params(workload, seed=seed)
+                for disks in self.disks:
+                    for cache_size in self.cache_sizes:
+                        for fetch_time in self.fetch_times:
+                            for algorithm in self.algorithms:
+                                out.append(
+                                    ExperimentPoint(
+                                        workload=spec,
+                                        cache_size=cache_size,
+                                        fetch_time=fetch_time,
+                                        disks=disks,
+                                        algorithm=algorithm,
+                                        engine=self.engine,
+                                    )
+                                )
+        return out
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One (instance, algorithm) evaluation, described portably.
+
+    Either ``workload`` (a spec string; the instance is regenerated in the
+    worker) or ``instance`` (a prebuilt :class:`ProblemInstance`, pickled to
+    the worker — used by benchmark scripts whose instances have no spec
+    form) must be set.
+    """
+
+    workload: Optional[str] = None
+    cache_size: int = 16
+    fetch_time: int = 8
+    disks: int = 1
+    algorithm: str = "aggressive"
+    engine: str = "indexed"
+    label: Optional[str] = None
+    instance: Optional[ProblemInstance] = field(default=None, compare=False)
+
+    def build_instance(self) -> ProblemInstance:
+        """The problem instance of this point (built or passed through)."""
+        if self.instance is not None:
+            return self.instance
+        if self.workload is None:
+            raise ConfigurationError("ExperimentPoint needs a workload spec or an instance")
+        sequence = parse_workload(self.workload)
+        if self.disks > 1:
+            return striped_instance(sequence, self.cache_size, self.fetch_time, self.disks)
+        return ProblemInstance.single_disk(sequence, self.cache_size, self.fetch_time)
+
+    def describe(self) -> str:
+        """Stable human-readable label of the point."""
+        if self.label is not None:
+            return self.label
+        return (
+            f"{self.workload} k={self.cache_size} F={self.fetch_time} "
+            f"D={self.disks} alg={self.algorithm}"
+        )
+
+
+# ---------------------------------------------------------------------------------
+# fingerprints and caching
+# ---------------------------------------------------------------------------------
+
+
+def instance_fingerprint(instance: ProblemInstance) -> str:
+    """SHA-256 fingerprint of the instance *content*.
+
+    Covers the request sequence, cache size, fetch time, disk layout and
+    warm set — everything that determines simulation output — so equal
+    instances produced by different code paths share cache entries.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"k={instance.cache_size};F={instance.fetch_time};".encode())
+    hasher.update(
+        ";".join(sorted(repr(b) for b in instance.initial_cache)).encode()
+    )
+    hasher.update(b"|seq|")
+    for block in instance.sequence.requests:
+        hasher.update(repr(block).encode())
+        hasher.update(b"\x00")
+    hasher.update(b"|layout|")
+    hasher.update(str(instance.num_disks).encode())
+    # Disk placement of every requested block, in sorted order.
+    placement = ";".join(
+        f"{b!r}->{instance.disk_of(b)}"
+        for b in sorted(instance.requested_blocks, key=repr)
+    )
+    hasher.update(placement.encode())
+    return hasher.hexdigest()
+
+
+def _point_cache_key(point: ExperimentPoint) -> str:
+    """Cache key of a point.
+
+    Spec-described points are keyed by their grid coordinates — the spec
+    string regenerates the instance deterministically, and hashing the
+    coordinates avoids building every instance serially in the parent just
+    to compute keys.  Prebuilt-instance points (already materialised, so
+    fingerprinting costs no extra build) are keyed by content, letting
+    equal instances share entries across labels.
+    """
+    if point.workload is not None:
+        identity = (
+            f"spec={point.workload};k={point.cache_size};F={point.fetch_time};"
+            f"D={point.disks}"
+        )
+    else:
+        identity = instance_fingerprint(point.build_instance())
+    return hashlib.sha256(
+        f"{identity};alg={point.algorithm};engine={point.engine}".encode()
+    ).hexdigest()
+
+
+def _evaluate_point(point: ExperimentPoint) -> Dict[str, object]:
+    """Worker entry: simulate one point and return a flat result row.
+
+    Module-level (picklable) so it can run inside a process pool; everything
+    it needs travels inside the :class:`ExperimentPoint`.
+    """
+    instance = point.build_instance()
+    algorithm = make_algorithm(point.algorithm)
+    result = simulate(instance, algorithm, engine=point.engine)
+    metrics = result.metrics
+    return {
+        "point": point.describe(),
+        "workload": point.workload,
+        "cache_size": instance.cache_size,
+        "fetch_time": instance.fetch_time,
+        "disks": instance.num_disks,
+        "algorithm": result.policy_name,
+        "algorithm_spec": point.algorithm,
+        "num_requests": metrics.num_requests,
+        "stall_time": metrics.stall_time,
+        "elapsed_time": metrics.elapsed_time,
+        "num_fetches": metrics.num_fetches,
+        "num_demand_fetches": metrics.num_demand_fetches,
+        "cache_hits": metrics.cache_hits,
+        "cache_misses": metrics.cache_misses,
+        "hit_rate": round(metrics.hit_rate, 6),
+        "peak_cache_used": metrics.peak_cache_used,
+    }
+
+
+class _ResultCache:
+    """One-JSON-file-per-point cache under a directory."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, row: Mapping[str, object]) -> None:
+        self._path(key).write_text(json.dumps(dict(row), sort_keys=True))
+
+
+# ---------------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """The ordered results of one runner invocation."""
+
+    spec_name: str
+    rows: Tuple[Dict[str, object], ...]
+    workers: int = 0
+    cached_points: int = 0
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Row dictionaries in grid order (for the table formatter)."""
+        return [dict(row) for row in self.rows]
+
+    def to_json(self) -> str:
+        """Deterministic JSON document (stable order, sorted keys)."""
+        return json.dumps(
+            {
+                "experiment": self.spec_name,
+                "num_points": len(self.rows),
+                "results": [dict(row) for row in self.rows],
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    def write_json(self, path) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    def write_csv(self, path) -> None:
+        """Write the rows as CSV (columns of the first row, grid order)."""
+        rows = self.as_rows()
+        if not rows:
+            Path(path).write_text("")
+            return
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def metric(self, metric: str) -> Dict[str, object]:
+        """``{point label: metric value}`` across all rows."""
+        return {row["point"]: row[metric] for row in self.rows}
+
+
+def _execute_points(
+    points: Sequence[ExperimentPoint],
+    *,
+    workers: int = 0,
+    cache_dir=None,
+) -> Tuple[List[Dict[str, object]], int]:
+    """Evaluate ``points`` (cached, then serial or fanned out) in grid order."""
+    cache = _ResultCache(cache_dir) if cache_dir is not None else None
+    rows: List[Optional[Dict[str, object]]] = [None] * len(points)
+    pending: List[Tuple[int, ExperimentPoint, Optional[str]]] = []
+    cached_points = 0
+    for position, point in enumerate(points):
+        key = _point_cache_key(point) if cache is not None else None
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                # The cached metrics are content-determined, but the identity
+                # fields belong to whichever run wrote the entry; restore the
+                # current point's identity so labels stay correct when an
+                # entry is shared across labels.
+                hit["point"] = point.describe()
+                hit["workload"] = point.workload
+                hit["algorithm_spec"] = point.algorithm
+                rows[position] = hit
+                cached_points += 1
+                continue
+        pending.append((position, point, key))
+
+    if pending:
+        if workers and workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_evaluate_point, [p for _, p, _ in pending]))
+        else:
+            fresh = [_evaluate_point(p) for _, p, _ in pending]
+        for (position, _point, key), row in zip(pending, fresh):
+            rows[position] = row
+            if cache is not None and key is not None:
+                cache.put(key, row)
+
+    return [row for row in rows if row is not None], cached_points
+
+
+def run_experiments(
+    spec: ExperimentSpec,
+    *,
+    workers: int = 0,
+    cache_dir=None,
+) -> ExperimentRun:
+    """Run the full grid of ``spec`` and return its ordered results.
+
+    ``workers > 1`` fans the uncached points out over that many processes;
+    output order (and therefore the JSON/CSV documents) is identical to the
+    serial run.  ``cache_dir`` enables the per-point result cache.
+    """
+    rows, cached_points = _execute_points(
+        spec.points(), workers=workers, cache_dir=cache_dir
+    )
+    return ExperimentRun(
+        spec_name=spec.name,
+        rows=tuple(rows),
+        workers=workers,
+        cached_points=cached_points,
+    )
+
+
+def evaluate_instances(
+    labeled_instances: Iterable[Tuple[str, ProblemInstance]],
+    algorithms: Sequence[str],
+    *,
+    workers: int = 0,
+    engine: str = "indexed",
+    cache_dir=None,
+) -> ExperimentRun:
+    """Evaluate algorithm specs over prebuilt instances (benchmark entry point).
+
+    The benchmark scripts construct instances programmatically (adversarial
+    families, paper examples) that have no workload-spec form; this runs the
+    same batched machinery over ``(label, instance)`` pairs.  Instances are
+    pickled to the workers when ``workers > 1``.
+    """
+    points = [
+        ExperimentPoint(
+            algorithm=algorithm,
+            engine=engine,
+            label=f"{label} alg={algorithm}",
+            instance=instance,
+            cache_size=instance.cache_size,
+            fetch_time=instance.fetch_time,
+            disks=instance.num_disks,
+        )
+        for label, instance in labeled_instances
+        for algorithm in algorithms
+    ]
+    rows, cached_points = _execute_points(points, workers=workers, cache_dir=cache_dir)
+    return ExperimentRun(
+        spec_name="ad-hoc",
+        rows=tuple(rows),
+        workers=workers,
+        cached_points=cached_points,
+    )

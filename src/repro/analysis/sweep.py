@@ -1,9 +1,13 @@
-"""Parameter sweeps over (k, F, D, workload) — the engine behind the benchmarks.
+"""Legacy in-process ratio sweeps (superseded by :mod:`repro.analysis.runner`).
 
-A sweep runs a set of algorithms over a grid of instances and collects one
-:class:`~repro.analysis.ratios.RatioReport` per grid point.  The benchmark
-scripts only have to declare the grid; tabulation and aggregation live here
-so experiment output stays uniform.
+:func:`run_sweep` runs a set of algorithms over a grid of instances and
+collects one :class:`~repro.analysis.ratios.RatioReport` per grid point,
+including the LP optimum of every point — useful for small ratio studies,
+too expensive for scale.  New experiment code (the ``bench_e*`` scripts, the
+``repro sweep`` command) should declare grids through
+:class:`~repro.analysis.runner.ExperimentSpec` /
+:func:`~repro.analysis.runner.evaluate_instances`, which fan out over worker
+processes, cache per-point results and emit uniform JSON/CSV.
 """
 
 from __future__ import annotations

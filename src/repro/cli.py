@@ -6,6 +6,8 @@ Commands
                 a Gantt chart / timeline).
 ``compare``   — run several algorithms on the same workload and print their
                 measured ratios against the LP optimum.
+``sweep``     — run an algorithm x parameter grid through the batched
+                experiment runner (multi-process, cached, JSON/CSV output).
 ``lowerbound``— build the Theorem 2 adversarial instance and report
                 Aggressive's measured ratio next to the theoretical bound.
 ``bounds``    — print the Section 2 bound formulas for a (k, F) grid.
@@ -20,72 +22,23 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .algorithms import make_algorithm
 from .analysis.ratios import measure_parallel_stall, measure_ratios
 from .analysis.reporting import format_report, format_table
+from .analysis.runner import ExperimentSpec, run_experiments
 from .core.bounds import SingleDiskBounds
 from .disksim.executor import simulate
 from .disksim.instance import ProblemInstance
-from .errors import ConfigurationError, ReproError
+from .errors import ReproError
 from .viz.gantt import render_gantt
 from .viz.timeline import render_timeline
-from .workloads import (
-    cao_f_ge_k_sequence,
-    database_join_trace,
-    file_scan_trace,
-    load_trace,
-    looping_scan,
-    multimedia_stream_trace,
-    sequential_scan,
-    theorem2_sequence,
-    uniform_random,
-    zipf,
-)
+from .workloads import theorem2_sequence
 from .workloads.multidisk import striped_instance
+from .workloads.spec import parse_workload
 
 __all__ = ["main", "build_parser", "parse_workload"]
-
-_WORKLOAD_BUILDERS = {
-    "zipf": lambda p: zipf(
-        int(p.get("n", 200)), int(p.get("blocks", 50)), skew=float(p.get("skew", 1.0)),
-        seed=int(p.get("seed", 0)),
-    ),
-    "uniform": lambda p: uniform_random(
-        int(p.get("n", 200)), int(p.get("blocks", 50)), seed=int(p.get("seed", 0))
-    ),
-    "loop": lambda p: looping_scan(int(p.get("blocks", 20)), int(p.get("loops", 5))),
-    "scan": lambda p: sequential_scan(int(p.get("blocks", 100))),
-    "filescan": lambda p: file_scan_trace(
-        int(p.get("files", 4)), int(p.get("blocks", 25)), rescans=int(p.get("rescans", 1))
-    ),
-    "join": lambda p: database_join_trace(
-        int(p.get("outer", 8)), int(p.get("inner", 12)),
-    ),
-    "stream": lambda p: multimedia_stream_trace(
-        int(p.get("streams", 3)), int(p.get("blocks", 40))
-    ),
-    "trace": lambda p: load_trace(p["path"]),
-}
-
-
-def parse_workload(spec: str):
-    """Parse a workload spec string into a request sequence."""
-    name, _, params_text = spec.partition(":")
-    params: Dict[str, str] = {}
-    if params_text:
-        for item in params_text.split(","):
-            if not item:
-                continue
-            key, _, value = item.partition("=")
-            params[key.strip()] = value.strip()
-    builder = _WORKLOAD_BUILDERS.get(name.strip().lower())
-    if builder is None:
-        raise ConfigurationError(
-            f"unknown workload {name!r}; available: {', '.join(sorted(_WORKLOAD_BUILDERS))}"
-        )
-    return builder(params)
 
 
 def _make_instance(args: argparse.Namespace) -> ProblemInstance:
@@ -122,6 +75,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", "-a", default="aggressive,conservative,combination,demand",
         help="comma-separated algorithm specs",
     )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run an algorithm x parameter grid via the experiment runner"
+    )
+    p_sweep.add_argument(
+        "--workloads", "-w", default="zipf:n=200,blocks=50",
+        help="comma-free list of workload specs separated by ';', "
+        "e.g. 'zipf:n=200,blocks=50;loop:blocks=30,loops=10'",
+    )
+    p_sweep.add_argument("--cache-sizes", "-k", default="16",
+                         help="comma-separated cache sizes")
+    p_sweep.add_argument("--fetch-times", "-F", default="8",
+                         help="comma-separated fetch times")
+    p_sweep.add_argument("--disks", "-D", default="1", help="comma-separated disk counts")
+    p_sweep.add_argument(
+        "--algorithms", "-a", default="aggressive,conservative,combination,demand",
+        help="comma-separated algorithm specs",
+    )
+    p_sweep.add_argument("--seeds", default="",
+                         help="comma-separated seeds substituted into the workload specs")
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="process-pool size (0/1 = run in-process)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="directory for the per-point result cache")
+    p_sweep.add_argument("--json", dest="json_path", default=None,
+                         help="write results as deterministic JSON to this path")
+    p_sweep.add_argument("--csv", dest="csv_path", default=None,
+                         help="write results as CSV to this path")
+    p_sweep.add_argument("--name", default="cli-sweep", help="experiment name")
 
     p_lb = sub.add_parser("lowerbound", help="run the Theorem 2 adversarial construction")
     p_lb.add_argument("--cache-size", "-k", type=int, default=13)
@@ -166,6 +148,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> List[int]:
+    return [int(v) for v in text.split(",") if v.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = tuple(_parse_int_list(args.seeds)) or (None,)
+    spec = ExperimentSpec(
+        name=args.name,
+        workloads=tuple(w.strip() for w in args.workloads.split(";") if w.strip()),
+        cache_sizes=tuple(_parse_int_list(args.cache_sizes)),
+        fetch_times=tuple(_parse_int_list(args.fetch_times)),
+        disks=tuple(_parse_int_list(args.disks)),
+        algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
+        seeds=seeds,
+    )
+    run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"sweep {run.spec_name!r}: {len(run.rows)} points "
+        f"({run.cached_points} cached, workers={args.workers})"
+    )
+    print(format_table(run.as_rows(), columns=[
+        "workload", "cache_size", "fetch_time", "disks", "algorithm",
+        "stall_time", "elapsed_time", "num_fetches", "hit_rate",
+    ]))
+    if args.json_path:
+        run.write_json(args.json_path)
+        print(f"wrote JSON to {args.json_path}")
+    if args.csv_path:
+        run.write_csv(args.csv_path)
+        print(f"wrote CSV to {args.csv_path}")
+    return 0
+
+
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
     from .algorithms import Aggressive
 
@@ -206,6 +221,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "lowerbound": _cmd_lowerbound,
         "bounds": _cmd_bounds,
     }

@@ -18,6 +18,7 @@ from .executor import (
     execute_schedule,
     simulate,
 )
+from .index import EvictionHeap, MissTracker, SequenceIndex
 from .instance import ProblemInstance
 from .metrics import SimMetrics
 from .schedule import IntervalFetch, IntervalSchedule, Schedule, TimedFetch
@@ -36,6 +37,9 @@ __all__ = [
     "execute_interval_schedule",
     "execute_schedule",
     "simulate",
+    "EvictionHeap",
+    "MissTracker",
+    "SequenceIndex",
     "ProblemInstance",
     "SimMetrics",
     "IntervalFetch",

@@ -19,6 +19,22 @@ This module implements the integer time model of the Cao et al. framework
   reproduces the policy's reported metrics, i.e. no algorithm can mis-account
   its stall time.
 
+All three entry points run the *same* event loop (:func:`_run_event_loop`):
+the loop owns time advancement, fetch completion, serving and stall
+accounting, while a *driver* object supplies what differs between
+policy-driven simulation and schedule replay (which fetches to issue at a
+decision point, what to do when the needed block is absent, position
+barriers).  The loop consumes the runtime indices of
+:mod:`repro.disksim.index` — a :class:`~repro.disksim.index.SequenceIndex`
+built once per instance, plus an incremental
+:class:`~repro.disksim.index.MissTracker` and
+:class:`~repro.disksim.index.EvictionHeap` per run — so the derived queries
+policies are phrased in terms of (next missing block, furthest-future
+resident block) cost amortised O(log k) instead of a scan of the whole
+sequence.  Passing
+``engine="scan"`` selects the original scan-based query implementations,
+kept as the reference for the equivalence tests and the speed benchmark.
+
 Model recap
 -----------
 Serving a resident request takes one time unit.  A fetch started at time
@@ -43,9 +59,10 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Protocol, Tuple, runtime_checkable
 
 from .._typing import BlockId, DiskId
-from ..errors import InvalidScheduleError, PolicyError
+from ..errors import ConfigurationError, InvalidScheduleError, PolicyError
 from .cache import CacheState
 from .events import Event, EventKind, EventLog
+from .index import EvictionHeap, MissTracker, SequenceIndex
 from .instance import ProblemInstance
 from .metrics import SimMetrics
 from .schedule import IntervalSchedule, Schedule, TimedFetch
@@ -59,6 +76,8 @@ __all__ = [
     "execute_schedule",
     "execute_interval_schedule",
 ]
+
+_ENGINES = ("indexed", "scan")
 
 
 @dataclass(frozen=True)
@@ -83,28 +102,62 @@ class PolicyView:
     to serve), the resident and in-flight block sets, and which disks are
     idle.  The view exposes the handful of derived queries that the classical
     algorithms are phrased in terms of (next missing block, furthest-future
-    resident block, ...).
+    resident block, ...), answered through the engine's runtime indices when
+    available and by the original sequence scans otherwise.
     """
 
-    __slots__ = ("instance", "time", "cursor", "resident", "incoming", "busy_disks", "free_slots")
+    __slots__ = (
+        "instance",
+        "time",
+        "cursor",
+        "busy_disks",
+        "_cache",
+        "_misses",
+        "_evictions",
+        "_resident",
+        "_incoming",
+    )
 
     def __init__(
         self,
         instance: ProblemInstance,
         time: int,
         cursor: int,
-        resident: FrozenSet[BlockId],
-        incoming: FrozenSet[BlockId],
+        cache: CacheState,
         busy_disks: FrozenSet[DiskId],
-        free_slots: int,
+        misses: Optional[MissTracker] = None,
+        evictions: Optional[EvictionHeap] = None,
     ):
         self.instance = instance
         self.time = time
         self.cursor = cursor
-        self.resident = resident
-        self.incoming = incoming
         self.busy_disks = busy_disks
-        self.free_slots = free_slots
+        self._cache = cache
+        self._misses = misses
+        self._evictions = evictions
+        self._resident: Optional[FrozenSet[BlockId]] = None
+        self._incoming: Optional[FrozenSet[BlockId]] = None
+
+    # -- cache state ----------------------------------------------------------------
+
+    @property
+    def resident(self) -> FrozenSet[BlockId]:
+        """Blocks that can serve requests right now (snapshot, built lazily)."""
+        if self._resident is None:
+            self._resident = self._cache.resident
+        return self._resident
+
+    @property
+    def incoming(self) -> FrozenSet[BlockId]:
+        """Blocks whose fetch is in flight (snapshot, built lazily)."""
+        if self._incoming is None:
+            self._incoming = self._cache.incoming
+        return self._incoming
+
+    @property
+    def free_slots(self) -> int:
+        """Slots that can accept a fetch without evicting anything."""
+        return self._cache.free_slots
 
     # -- disk state -----------------------------------------------------------------
 
@@ -122,21 +175,30 @@ class PolicyView:
 
     def is_available(self, block: BlockId) -> bool:
         """Whether ``block`` is resident right now."""
-        return block in self.resident
+        return self._cache.contains(block)
 
     def is_in_flight(self, block: BlockId) -> bool:
         """Whether a fetch for ``block`` is currently executing."""
-        return block in self.incoming
+        return self._cache.is_incoming(block)
 
-    def next_missing_position(self, on_disk: Optional[DiskId] = None) -> Optional[int]:
+    def next_missing_position(
+        self,
+        on_disk: Optional[DiskId] = None,
+        *,
+        exclude: FrozenSet[BlockId] = frozenset(),
+    ) -> Optional[int]:
         """Position of the next request whose block is neither resident nor in flight.
 
         When ``on_disk`` is given, only blocks residing on that disk are
         considered (the per-disk notion used by the parallel Aggressive
-        algorithm).  Returns ``None`` when no such request exists.
+        algorithm).  ``exclude`` treats additional blocks as present — the
+        parallel algorithms pass the blocks promised to other disks in the
+        same decision round.  Returns ``None`` when no such request exists.
         """
+        if self._misses is not None:
+            return self._misses.next_missing(self.cursor, on_disk, exclude)
         seq = self.instance.sequence
-        present = self.resident | self.incoming
+        present = self.resident | self.incoming | exclude
         skipped = set()
         for pos in range(self.cursor, len(seq)):
             block = seq[pos]
@@ -154,19 +216,49 @@ class PolicyView:
         return self.instance.sequence.next_use_from(start, block)
 
     def furthest_resident(
-        self, from_position: Optional[int] = None, candidates: Optional[FrozenSet[BlockId]] = None
+        self,
+        from_position: Optional[int] = None,
+        candidates: Optional[FrozenSet[BlockId]] = None,
+        *,
+        exclude: FrozenSet[BlockId] = frozenset(),
     ) -> Optional[BlockId]:
         """The resident block whose next use (from ``from_position``) is furthest away.
 
         Ties are broken deterministically by the string representation of the
-        block identifier so that runs are reproducible.  Returns ``None`` when
-        there are no resident blocks (or no ``candidates``).
+        block identifier so that runs are reproducible.  ``exclude`` removes
+        blocks from consideration (promised victims of the same decision
+        round).  Returns ``None`` when no candidate remains.
         """
-        pool = self.resident if candidates is None else (self.resident & candidates)
-        if not pool:
-            return None
         start = self.cursor if from_position is None else from_position
         seq = self.instance.sequence
+        if self._evictions is not None and candidates is None and start >= self.cursor:
+            if start == self.cursor:
+                return self._evictions.best(self.cursor, exclude)
+            # Judging from a future position: only blocks requested in the
+            # window [cursor, start) have a different key there; re-key those
+            # explicitly and take the heap's best over the rest (whose keys
+            # are unchanged, the window holds their only uses before start).
+            window = {
+                b
+                for b in seq.distinct_in_window(self.cursor, start)
+                if b in self._evictions and b not in exclude
+            }
+            rest = self._evictions.best(self.cursor, frozenset(exclude) | window)
+            best_block: Optional[BlockId] = None
+            best_key: Optional[Tuple[int, str]] = None
+            if rest is not None:
+                best_block = rest
+                best_key = (seq.next_use_from(start, rest), str(rest))
+            for block in window:
+                key = (seq.next_use_from(start, block), str(block))
+                if best_key is None or key > best_key:
+                    best_block, best_key = block, key
+            return best_block
+        pool = self.resident if candidates is None else (self.resident & candidates)
+        if exclude:
+            pool = pool - exclude
+        if not pool:
+            return None
         return max(pool, key=lambda b: (seq.next_use_from(start, b), str(b)))
 
     def evictable_for(self, target_position: int) -> Optional[BlockId]:
@@ -232,9 +324,19 @@ class SimulationResult:
 
 
 class _EngineState:
-    """Mutable engine internals shared by the execution entry points."""
+    """Mutable engine internals shared by the execution entry points.
 
-    def __init__(self, instance: ProblemInstance, capacity: int):
+    With ``engine="indexed"`` the state owns the per-instance
+    :class:`SequenceIndex` (built once, cached across runs) and an
+    :class:`EvictionHeap` mirroring the resident set, maintained
+    incrementally by the fetch lifecycle methods below.
+    """
+
+    def __init__(self, instance: ProblemInstance, capacity: int, engine: str = "indexed"):
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
         self.instance = instance
         self.cache = CacheState(capacity, instance.initial_cache)
         self.in_flight: Dict[DiskId, Tuple[BlockId, int]] = {}
@@ -248,6 +350,21 @@ class _EngineState:
         self.demand_fetches = 0
         self.peak_used = self.cache.used_slots
         self.fetches_per_disk: Dict[DiskId, int] = {}
+        self.first_look_resident: Dict[int, bool] = {}
+        if engine == "indexed":
+            self.index: Optional[SequenceIndex] = SequenceIndex.for_parts(
+                instance.sequence, instance.layout
+            )
+            self.miss_tracker: Optional[MissTracker] = self.index.make_miss_tracker(
+                instance.initial_cache
+            )
+            self.evictions: Optional[EvictionHeap] = EvictionHeap(instance.sequence)
+            for block in instance.initial_cache:
+                self.evictions.add(block, 0)
+        else:
+            self.index = None
+            self.miss_tracker = None
+            self.evictions = None
 
     # -- fetch lifecycle ------------------------------------------------------------
 
@@ -257,6 +374,8 @@ class _EngineState:
             block, finish = self.in_flight[disk]
             if finish <= self.time:
                 self.cache.complete_fetch(block)
+                if self.evictions is not None:
+                    self.evictions.add(block, self.cursor)
                 self.events.record(
                     Event(finish, EventKind.FETCH_COMPLETE, block=block, disk=disk)
                 )
@@ -288,6 +407,12 @@ class _EngineState:
             self.cache.start_fetch(block, victim)
         except Exception as exc:  # CacheError -> PolicyError with context
             raise PolicyError(str(exc)) from exc
+        if self.miss_tracker is not None:
+            self.miss_tracker.mark_present(block)
+            if victim is not None:
+                self.miss_tracker.mark_absent(victim, self.cursor)
+        if victim is not None and self.evictions is not None:
+            self.evictions.discard(victim)
         finish = self.time + inst.fetch_time
         self.in_flight[disk] = (block, finish)
         self.fetch_ops.append(
@@ -334,6 +459,8 @@ class _EngineState:
                 duration=1,
             )
         )
+        if self.evictions is not None:
+            self.evictions.on_serve(self.cursor)
         self.time += 1
         self.cursor += 1
 
@@ -345,10 +472,10 @@ class _EngineState:
             instance=self.instance,
             time=self.time,
             cursor=self.cursor,
-            resident=self.cache.resident,
-            incoming=self.cache.incoming,
+            cache=self.cache,
             busy_disks=frozenset(self.in_flight),
-            free_slots=self.cache.free_slots,
+            misses=self.miss_tracker,
+            evictions=self.evictions,
         )
 
     def metrics(self) -> SimMetrics:
@@ -383,203 +510,212 @@ class _EngineState:
             self.time = max(finish for _, finish in self.in_flight.values())
             self.complete_due_fetches()
 
+    def result(self, policy_name: str) -> SimulationResult:
+        """Assemble the final :class:`SimulationResult` of the run."""
+        return SimulationResult(
+            instance=self.instance,
+            schedule=self.schedule(),
+            metrics=self.metrics(),
+            events=self.events,
+            policy_name=policy_name,
+        )
+
 
 def _default_forced_victim(state: _EngineState) -> Optional[BlockId]:
-    """Victim for a forced demand fetch: free slot if any, else furthest next use."""
+    """Victim for a forced demand fetch: free slot if any, else furthest next use.
+
+    Returns ``None`` both for "use a free slot" and when no victim exists at
+    all (cache fully reserved by in-flight fetches); callers distinguish the
+    two via ``state.cache.free_slots``.
+    """
     if state.cache.free_slots > 0:
         return None
+    if state.evictions is not None:
+        return state.evictions.best(state.cursor)
     seq = state.instance.sequence
     resident = state.cache.resident
+    if not resident:
+        return None
     return max(resident, key=lambda b: (seq.next_use_from(state.cursor, b), str(b)))
 
 
 # ---------------------------------------------------------------------------------
-# policy-driven simulation
+# the event loop and its drivers
 # ---------------------------------------------------------------------------------
 
 
-def simulate(instance: ProblemInstance, policy: PrefetchPolicy) -> SimulationResult:
-    """Run ``policy`` over ``instance`` and return the resulting schedule and metrics.
+class _Driver(Protocol):
+    """What differs between policy-driven simulation and schedule replay."""
 
-    The engine consults the policy at every decision point.  If the policy
-    leaves the processor unable to make progress (the next request's block is
-    absent, not in flight, and its disk is idle), the engine issues a *forced
-    demand fetch* with the classical furthest-next-use victim, so every policy
-    produces a feasible schedule; such fetches are counted in
-    ``metrics.num_demand_fetches``.
+    def decision_point(self, state: _EngineState) -> None:
+        """Issue fetches at the current decision point."""
+        ...  # pragma: no cover - protocol
+
+    def barrier(self, state: _EngineState) -> int:
+        """Earliest time the request at the cursor may be served (0 = no barrier)."""
+        ...  # pragma: no cover - protocol
+
+    def clip_stall_target(self, state: _EngineState, target: int) -> int:
+        """Adjust a stall target so intermediate decision points are not skipped."""
+        ...  # pragma: no cover - protocol
+
+    def on_absent(self, state: _EngineState, block: BlockId) -> None:
+        """Handle a needed block that is absent, not in flight, disk idle."""
+        ...  # pragma: no cover - protocol
+
+    def finish(self, state: _EngineState) -> None:
+        """Post-loop feasibility checks."""
+        ...  # pragma: no cover - protocol
+
+
+def _run_event_loop(state: _EngineState, driver: _Driver) -> None:
+    """Drive the clock from the first request to the last.
+
+    One iteration per decision point: complete due fetches, let the driver
+    issue new ones, then either serve the request at the cursor or stall
+    until the event (fetch completion or barrier expiry) that unblocks it.
     """
-    state = _EngineState(instance, instance.cache_size)
-    policy.reset(instance)
-    seq = instance.sequence
-    n = instance.num_requests
-
-    first_look_resident: Dict[int, bool] = {}
+    seq = state.instance.sequence
+    n = state.instance.num_requests
+    first_look = state.first_look_resident
 
     while state.cursor < n:
         state.complete_due_fetches()
-
-        # Decision point: let the policy start fetches on idle disks.  The loop
-        # is bounded because every applied decision occupies one more disk.
-        for _ in range(instance.num_disks):
-            if len(state.in_flight) >= instance.num_disks:
-                break
-            decisions = policy.decide(state.view())
-            if not decisions:
-                break
-            for decision in decisions:
-                if not isinstance(decision, FetchDecision):
-                    raise PolicyError(
-                        f"policy {policy.name!r} returned {decision!r}, expected FetchDecision"
-                    )
-                state.start_fetch(decision)
+        driver.decision_point(state)
 
         block = seq[state.cursor]
-        if state.cursor not in first_look_resident:
-            first_look_resident[state.cursor] = state.cache.contains(block)
+        if state.cursor not in first_look:
+            first_look[state.cursor] = state.cache.contains(block)
+
+        barrier = driver.barrier(state)
+        if barrier > state.time:
+            # A position barrier (replay of interval schedules) holds the
+            # cursor back: wait, in completion-sized chunks so other disks'
+            # fetches can be issued at their completion decision points.
+            target = state.earliest_completion()
+            target = barrier if target is None else min(target, barrier)
+            state.stall_until(target, waiting_for=block)
+            continue
 
         if state.cache.contains(block):
-            if first_look_resident[state.cursor]:
+            if first_look[state.cursor]:
                 state.hits += 1
             else:
                 state.misses += 1
             state.serve_current()
             continue
 
-        if state.cache.is_incoming(block) or instance.disk_of(block) in state.in_flight:
+        if state.cache.is_incoming(block) or state.instance.disk_of(block) in state.in_flight:
             # The block is on its way, or its disk is busy with another fetch.
             # Stall only until the *earliest* completion so that fetch
             # completions during the stall become decision points for the
             # other disks.
             target = state.earliest_completion()
             assert target is not None  # at least one fetch is in flight here
+            target = driver.clip_stall_target(state, target)
             state.stall_until(target, waiting_for=block)
             continue
 
-        # The block is absent, not in flight, and its disk is idle: the policy
-        # declined to fetch a block the processor needs right now.
+        # The block is absent, not in flight, and its disk is idle.
+        driver.on_absent(state, block)
+
+    driver.finish(state)
+    state.drain_in_flight()
+
+
+class _PolicyDriver:
+    """Decision source for :func:`simulate`: consult the policy, force demand
+    fetches when it leaves the processor unable to make progress."""
+
+    def __init__(self, policy: PrefetchPolicy):
+        self.policy = policy
+
+    def decision_point(self, state: _EngineState) -> None:
+        # The loop is bounded because every applied decision occupies one
+        # more disk.
+        num_disks = state.instance.num_disks
+        for _ in range(num_disks):
+            if len(state.in_flight) >= num_disks:
+                break
+            decisions = self.policy.decide(state.view())
+            if not decisions:
+                break
+            for decision in decisions:
+                if not isinstance(decision, FetchDecision):
+                    raise PolicyError(
+                        f"policy {self.policy.name!r} returned {decision!r}, "
+                        "expected FetchDecision"
+                    )
+                state.start_fetch(decision)
+
+    def barrier(self, state: _EngineState) -> int:
+        return 0
+
+    def clip_stall_target(self, state: _EngineState, target: int) -> int:
+        return target
+
+    def on_absent(self, state: _EngineState, block: BlockId) -> None:
+        # The policy declined to fetch a block the processor needs right now:
+        # issue a forced demand fetch with the classical furthest-next-use
+        # victim so every policy produces a feasible schedule.
         victim = _default_forced_victim(state)
+        if victim is None and state.cache.free_slots <= 0:
+            # Every cache slot is reserved by an in-flight fetch, so the
+            # demand fetch cannot start yet: wait for the next completion to
+            # free a slot (always possible — a full cache with no resident
+            # blocks implies in-flight fetches).
+            target = state.earliest_completion()
+            assert target is not None
+            state.stall_until(target, waiting_for=block)
+            return
         state.start_fetch(
-            FetchDecision(disk=instance.disk_of(block), block=block, victim=victim),
+            FetchDecision(disk=state.instance.disk_of(block), block=block, victim=victim),
             forced=True,
         )
 
-    state.drain_in_flight()
-
-    return SimulationResult(
-        instance=instance,
-        schedule=state.schedule(),
-        metrics=state.metrics(),
-        events=state.events,
-        policy_name=getattr(policy, "name", type(policy).__name__),
-    )
+    def finish(self, state: _EngineState) -> None:
+        pass
 
 
-# ---------------------------------------------------------------------------------
-# schedule replay (validation)
-# ---------------------------------------------------------------------------------
+class _ReplayDriver:
+    """Decision source for schedule replay: issue recorded fetches at their
+    recorded times/positions and reject infeasible schedules."""
 
-
-def execute_schedule(
-    instance: ProblemInstance,
-    schedule: Schedule,
-    *,
-    capacity_override: Optional[int] = None,
-) -> SimulationResult:
-    """Replay a clock-anchored schedule, validating feasibility and measuring stall.
-
-    Raises :class:`InvalidScheduleError` if a fetch cannot be issued exactly
-    at its recorded start time (busy disk, victim absent, block already
-    resident, capacity exceeded) or if the processor would need a block that
-    the schedule never fetches in time (strict mode: no forced fetches are
-    injected).
-    """
-    by_time: Dict[int, List[FetchDecision]] = {}
-    for op in schedule.fetches:
-        by_time.setdefault(op.start_time, []).append(
-            FetchDecision(disk=op.disk, block=op.block, victim=op.victim)
-        )
-    return _execute_with_replay(
-        instance, by_time=by_time, positional=[], capacity_override=capacity_override
-    )
-
-
-def execute_interval_schedule(
-    instance: ProblemInstance,
-    schedule: IntervalSchedule,
-    *,
-    capacity_override: Optional[int] = None,
-) -> SimulationResult:
-    """Replay a position-anchored schedule (LP output), measuring its actual stall.
-
-    A fetch with ``start_pos = i`` becomes eligible once ``i`` requests have
-    been served — the paper's "the fetch starts after request ``r_i``"
-    convention — and is issued at the first decision point from then on at
-    which its disk is idle (consecutive intervals on one disk therefore
-    execute back to back, exactly as the LP's stall accounting assumes).  The
-    measured stall time is never larger, and can be smaller, than the LP
-    objective ``sum x(I) (F - |I|)``: the LP charges the full residual fetch
-    time of each interval whereas the processor only stalls when it actually
-    has to wait.
-    """
-    positional = [
-        (op.start_pos, op.end_pos, FetchDecision(disk=op.disk, block=op.block, victim=op.victim))
-        for op in schedule.fetches
-    ]
-    return _execute_with_replay(
-        instance, by_time={}, positional=positional, capacity_override=capacity_override
-    )
-
-
-def _pop_pending_fetch_for(
-    queues_by_disk: Dict[DiskId, List[Tuple[int, int, "FetchDecision"]]],
-    block: BlockId,
-    cursor: int,
-) -> Optional["FetchDecision"]:
-    """Remove and return a queued positional fetch for ``block`` that is already eligible."""
-    for queue in queues_by_disk.values():
-        for idx, (start_pos, _deadline, decision) in enumerate(queue):
-            if decision.block == block and start_pos <= cursor:
-                queue.pop(idx)
-                return decision
-    return None
-
-
-def _execute_with_replay(
-    instance: ProblemInstance,
-    *,
-    by_time: Dict[int, List[FetchDecision]],
-    positional: List[Tuple[int, int, FetchDecision]],
-    capacity_override: Optional[int],
-) -> SimulationResult:
-    capacity = capacity_override if capacity_override is not None else instance.cache_size
-    state = _EngineState(instance, capacity)
-    seq = instance.sequence
-    n = instance.num_requests
-
-    pending_by_time = {t: list(ds) for t, ds in sorted(by_time.items())}
-    # Positional fetches are kept as one pending queue per disk, in the
-    # paper's linear order "<" (by interval start, then end).  The head of a
-    # queue is issued as soon as (a) enough requests have been served
-    # (cursor >= start_pos), (b) the disk is idle and (c) its victim (if any)
-    # is resident; later entries never overtake the head, which is exactly
-    # how the LP's process-over-time view serialises the fetches of one disk.
-    queues_by_disk: Dict[DiskId, List[Tuple[int, int, FetchDecision]]] = {}
-    for start_pos, deadline, decision in sorted(
-        positional, key=lambda item: (item[0], item[1], str(item[2].block))
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        by_time: Dict[int, List[FetchDecision]],
+        positional: List[Tuple[int, int, FetchDecision]],
     ):
-        queues_by_disk.setdefault(decision.disk, []).append((start_pos, deadline, decision))
-    # Interval deadlines become *barriers*: request index ``end_pos - 1`` may
-    # not be served before the fetch of its interval has completed.  This is
-    # the synchronized-schedule semantics under which the LP charges
-    # ``F - |I|`` stall per interval; honouring it keeps the executed stall
-    # within the LP objective (the processor may wait slightly where the LP
-    # said it would, instead of racing ahead and starving later intervals).
-    barriers: Dict[int, int] = {}
-    first_look_resident: Dict[int, bool] = {}
+        self.pending_by_time = {t: list(ds) for t, ds in sorted(by_time.items())}
+        # Positional fetches are kept as one pending queue per disk, in the
+        # paper's linear order "<" (by interval start, then end).  The head of
+        # a queue is issued as soon as (a) enough requests have been served
+        # (cursor >= start_pos), (b) the disk is idle and (c) its victim (if
+        # any) is resident; later entries never overtake the head, which is
+        # exactly how the LP's process-over-time view serialises the fetches
+        # of one disk.
+        self.queues_by_disk: Dict[DiskId, List[Tuple[int, int, FetchDecision]]] = {}
+        for start_pos, deadline, decision in sorted(
+            positional, key=lambda item: (item[0], item[1], str(item[2].block))
+        ):
+            self.queues_by_disk.setdefault(decision.disk, []).append(
+                (start_pos, deadline, decision)
+            )
+        # Interval deadlines become *barriers*: request index ``end_pos - 1``
+        # may not be served before the fetch of its interval has completed.
+        # This is the synchronized-schedule semantics under which the LP
+        # charges ``F - |I|`` stall per interval; honouring it keeps the
+        # executed stall within the LP objective (the processor may wait
+        # slightly where the LP said it would, instead of racing ahead and
+        # starving later intervals).
+        self.barriers: Dict[int, int] = {}
+        self.fetch_time = instance.fetch_time
+        self.num_requests = instance.num_requests
 
-    def issue_due() -> None:
+    def decision_point(self, state: _EngineState) -> None:
         # Clock-anchored fetches must be issuable at exactly their recorded time.
-        for decision in pending_by_time.pop(state.time, []):
+        for decision in self.pending_by_time.pop(state.time, []):
             try:
                 state.start_fetch(decision)
             except PolicyError as exc:
@@ -588,7 +724,7 @@ def _execute_with_replay(
                     f"cursor={state.cursor}: {exc}"
                 ) from exc
         # Position-anchored fetches: issue each disk's queue head when eligible.
-        for disk, queue in queues_by_disk.items():
+        for disk, queue in self.queues_by_disk.items():
             if not queue or disk in state.in_flight:
                 continue
             start_pos, deadline, decision = queue[0]
@@ -610,47 +746,34 @@ def _execute_with_replay(
                     f"cannot be issued at t={state.time}, cursor={state.cursor}: {exc}"
                 ) from exc
             barrier_index = deadline - 1
-            finish = state.time + instance.fetch_time
-            if 0 <= barrier_index < n:
-                barriers[barrier_index] = max(barriers.get(barrier_index, 0), finish)
+            finish = state.time + self.fetch_time
+            if 0 <= barrier_index < self.num_requests:
+                self.barriers[barrier_index] = max(
+                    self.barriers.get(barrier_index, 0), finish
+                )
 
-    while state.cursor < n:
-        state.complete_due_fetches()
-        issue_due()
+    def barrier(self, state: _EngineState) -> int:
+        return self.barriers.get(state.cursor, 0)
 
-        block = seq[state.cursor]
-        if state.cursor not in first_look_resident:
-            first_look_resident[state.cursor] = state.cache.contains(block)
+    def clip_stall_target(self, state: _EngineState, target: int) -> int:
+        # Break the stall at the next scheduled clock-anchored fetch so it is
+        # issued at exactly its recorded start time.
+        upcoming = [t for t in self.pending_by_time if state.time < t < target]
+        if upcoming:
+            return min(upcoming)
+        return target
 
-        barrier = barriers.get(state.cursor, 0)
-        if barrier > state.time:
-            # A fetch interval ending at this request has not completed yet:
-            # wait (in completion-sized chunks so other disks' fetches can be
-            # issued at their completion decision points).
-            target = state.earliest_completion()
-            target = barrier if target is None else min(target, barrier)
-            state.stall_until(target, waiting_for=block)
-            continue
+    def _pop_pending_fetch_for(self, block: BlockId, cursor: int) -> Optional[FetchDecision]:
+        """Remove and return a queued positional fetch for ``block`` that is
+        already eligible."""
+        for queue in self.queues_by_disk.values():
+            for idx, (start_pos, _deadline, decision) in enumerate(queue):
+                if decision.block == block and start_pos <= cursor:
+                    queue.pop(idx)
+                    return decision
+        return None
 
-        if state.cache.contains(block):
-            if first_look_resident[state.cursor]:
-                state.hits += 1
-            else:
-                state.misses += 1
-            state.serve_current()
-            continue
-
-        if state.cache.is_incoming(block) or instance.disk_of(block) in state.in_flight:
-            target = state.earliest_completion()
-            assert target is not None
-            # Break the stall at the next scheduled clock-anchored fetch so it
-            # is issued at exactly its recorded start time.
-            upcoming = [t for t in pending_by_time if state.time < t < target]
-            if upcoming:
-                target = min(upcoming)
-            state.stall_until(target, waiting_for=block)
-            continue
-
+    def on_absent(self, state: _EngineState, block: BlockId) -> None:
         # The needed block is neither resident nor in flight, but its fetch may
         # still be queued behind a fetch that is waiting for a victim on
         # another disk (a cross-disk wait the per-disk queue discipline cannot
@@ -658,45 +781,149 @@ def _execute_with_replay(
         # if it is resident, with the classical furthest-next-use victim
         # otherwise — so the replay always makes progress; only a schedule that
         # never fetches the block at all is rejected.
-        emergency = _pop_pending_fetch_for(queues_by_disk, block, state.cursor)
+        emergency = self._pop_pending_fetch_for(block, state.cursor)
         if emergency is not None:
-            decision = emergency
-            victim = decision.victim
+            victim = emergency.victim
             if victim is not None and victim not in state.cache.resident:
                 victim = _default_forced_victim(state)
             try:
                 state.start_fetch(
-                    FetchDecision(disk=decision.disk, block=decision.block, victim=victim)
+                    FetchDecision(disk=emergency.disk, block=emergency.block, victim=victim)
                 )
             except PolicyError as exc:
                 raise InvalidScheduleError(
                     f"scheduled fetch for {block!r} could not be issued even out of order "
                     f"at t={state.time}: {exc}"
                 ) from exc
-            continue
+            return
 
         raise InvalidScheduleError(
             f"request {state.cursor} needs block {block!r} at t={state.time} but the "
             "schedule neither has it resident nor in flight"
         )
 
-    # Positional fetches still pending once every request has been served can
-    # no longer influence stall or feasibility (they would fetch blocks that
-    # are never needed again); they are dropped silently.  Clock-anchored
-    # fetches, by contrast, must all have been replayed at their exact times.
-    leftovers = sum(len(v) for v in pending_by_time.values())
-    if leftovers:
-        raise InvalidScheduleError(
-            f"{leftovers} scheduled fetches were never reached during replay "
-            "(start time lies beyond the end of the run)"
+    def finish(self, state: _EngineState) -> None:
+        # Positional fetches still pending once every request has been served
+        # can no longer influence stall or feasibility (they would fetch
+        # blocks that are never needed again); they are dropped silently.
+        # Clock-anchored fetches, by contrast, must all have been replayed at
+        # their exact times.
+        leftovers = sum(len(v) for v in self.pending_by_time.values())
+        if leftovers:
+            raise InvalidScheduleError(
+                f"{leftovers} scheduled fetches were never reached during replay "
+                "(start time lies beyond the end of the run)"
+            )
+
+
+# ---------------------------------------------------------------------------------
+# policy-driven simulation
+# ---------------------------------------------------------------------------------
+
+
+def simulate(
+    instance: ProblemInstance,
+    policy: PrefetchPolicy,
+    *,
+    engine: str = "indexed",
+) -> SimulationResult:
+    """Run ``policy`` over ``instance`` and return the resulting schedule and metrics.
+
+    The engine consults the policy at every decision point.  If the policy
+    leaves the processor unable to make progress (the next request's block is
+    absent, not in flight, and its disk is idle), the engine issues a *forced
+    demand fetch* with the classical furthest-next-use victim, so every policy
+    produces a feasible schedule; such fetches are counted in
+    ``metrics.num_demand_fetches``.
+
+    ``engine`` selects the query backend: ``"indexed"`` (default) consults
+    the precomputed :class:`SequenceIndex`/:class:`EvictionHeap`;
+    ``"scan"`` re-derives every query by scanning the sequence, exactly as
+    the seed engine did — both produce identical schedules and metrics (the
+    equivalence test suite asserts this), the indexed engine is just
+    asymptotically faster.
+    """
+    state = _EngineState(instance, instance.cache_size, engine=engine)
+    policy.reset(instance)
+    _run_event_loop(state, _PolicyDriver(policy))
+    return state.result(getattr(policy, "name", type(policy).__name__))
+
+
+# ---------------------------------------------------------------------------------
+# schedule replay (validation)
+# ---------------------------------------------------------------------------------
+
+
+def execute_schedule(
+    instance: ProblemInstance,
+    schedule: Schedule,
+    *,
+    capacity_override: Optional[int] = None,
+    engine: str = "indexed",
+) -> SimulationResult:
+    """Replay a clock-anchored schedule, validating feasibility and measuring stall.
+
+    Raises :class:`InvalidScheduleError` if a fetch cannot be issued exactly
+    at its recorded start time (busy disk, victim absent, block already
+    resident, capacity exceeded) or if the processor would need a block that
+    the schedule never fetches in time (strict mode: no forced fetches are
+    injected).
+    """
+    by_time: Dict[int, List[FetchDecision]] = {}
+    for op in schedule.fetches:
+        by_time.setdefault(op.start_time, []).append(
+            FetchDecision(disk=op.disk, block=op.block, victim=op.victim)
         )
-
-    state.drain_in_flight()
-
-    return SimulationResult(
-        instance=instance,
-        schedule=state.schedule(),
-        metrics=state.metrics(),
-        events=state.events,
-        policy_name="replay",
+    return _execute_with_replay(
+        instance,
+        by_time=by_time,
+        positional=[],
+        capacity_override=capacity_override,
+        engine=engine,
     )
+
+
+def execute_interval_schedule(
+    instance: ProblemInstance,
+    schedule: IntervalSchedule,
+    *,
+    capacity_override: Optional[int] = None,
+    engine: str = "indexed",
+) -> SimulationResult:
+    """Replay a position-anchored schedule (LP output), measuring its actual stall.
+
+    A fetch with ``start_pos = i`` becomes eligible once ``i`` requests have
+    been served — the paper's "the fetch starts after request ``r_i``"
+    convention — and is issued at the first decision point from then on at
+    which its disk is idle (consecutive intervals on one disk therefore
+    execute back to back, exactly as the LP's stall accounting assumes).  The
+    measured stall time is never larger, and can be smaller, than the LP
+    objective ``sum x(I) (F - |I|)``: the LP charges the full residual fetch
+    time of each interval whereas the processor only stalls when it actually
+    has to wait.
+    """
+    positional = [
+        (op.start_pos, op.end_pos, FetchDecision(disk=op.disk, block=op.block, victim=op.victim))
+        for op in schedule.fetches
+    ]
+    return _execute_with_replay(
+        instance,
+        by_time={},
+        positional=positional,
+        capacity_override=capacity_override,
+        engine=engine,
+    )
+
+
+def _execute_with_replay(
+    instance: ProblemInstance,
+    *,
+    by_time: Dict[int, List[FetchDecision]],
+    positional: List[Tuple[int, int, FetchDecision]],
+    capacity_override: Optional[int],
+    engine: str = "indexed",
+) -> SimulationResult:
+    capacity = capacity_override if capacity_override is not None else instance.cache_size
+    state = _EngineState(instance, capacity, engine=engine)
+    _run_event_loop(state, _ReplayDriver(instance, by_time, positional))
+    return state.result("replay")

@@ -1,0 +1,87 @@
+"""Workload specification strings.
+
+Workload specs are small strings like ``zipf:n=200,blocks=50,skew=0.8`` or
+``trace:path=/tmp/trace.txt``.  They originated in the CLI, but the batched
+experiment runner (:mod:`repro.analysis.runner`) uses them as its *portable
+instance description*: a spec string pickles trivially, regenerates the same
+sequence deterministically in any worker process (all generators take
+explicit seeds), and doubles as a human-readable label and cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..disksim.sequence import RequestSequence
+from ..errors import ConfigurationError
+from .synthetic import looping_scan, sequential_scan, uniform_random, zipf
+from .traces import (
+    database_join_trace,
+    file_scan_trace,
+    load_trace,
+    multimedia_stream_trace,
+)
+
+__all__ = ["WORKLOAD_BUILDERS", "parse_workload", "with_spec_params"]
+
+WORKLOAD_BUILDERS: Dict[str, Callable[[Dict[str, str]], RequestSequence]] = {
+    "zipf": lambda p: zipf(
+        int(p.get("n", 200)), int(p.get("blocks", 50)), skew=float(p.get("skew", 1.0)),
+        seed=int(p.get("seed", 0)),
+    ),
+    "uniform": lambda p: uniform_random(
+        int(p.get("n", 200)), int(p.get("blocks", 50)), seed=int(p.get("seed", 0))
+    ),
+    "loop": lambda p: looping_scan(int(p.get("blocks", 20)), int(p.get("loops", 5))),
+    "scan": lambda p: sequential_scan(int(p.get("blocks", 100))),
+    "filescan": lambda p: file_scan_trace(
+        int(p.get("files", 4)), int(p.get("blocks", 25)), rescans=int(p.get("rescans", 1))
+    ),
+    "join": lambda p: database_join_trace(
+        int(p.get("outer", 8)), int(p.get("inner", 12)),
+    ),
+    "stream": lambda p: multimedia_stream_trace(
+        int(p.get("streams", 3)), int(p.get("blocks", 40))
+    ),
+    "trace": lambda p: load_trace(p["path"]),
+}
+
+
+def parse_workload(spec: str) -> RequestSequence:
+    """Parse a workload spec string into a request sequence."""
+    name, _, params_text = spec.partition(":")
+    params: Dict[str, str] = {}
+    if params_text:
+        for item in params_text.split(","):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            params[key.strip()] = value.strip()
+    builder = WORKLOAD_BUILDERS.get(name.strip().lower())
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOAD_BUILDERS))}"
+        )
+    return builder(params)
+
+
+def with_spec_params(spec: str, **overrides) -> str:
+    """Return ``spec`` with the given ``key=value`` parameters set/overridden.
+
+    Used by the runner to expand one workload spec over a seed grid:
+    ``with_spec_params("zipf:n=100", seed=3) == "zipf:n=100,seed=3"``.
+    """
+    name, _, params_text = spec.partition(":")
+    params: Dict[str, str] = {}
+    if params_text:
+        for item in params_text.split(","):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            params[key.strip()] = value.strip()
+    for key, value in overrides.items():
+        params[key] = str(value)
+    if not params:
+        return name
+    joined = ",".join(f"{k}={v}" for k, v in params.items())
+    return f"{name}:{joined}"

@@ -18,7 +18,7 @@ from repro.disksim import ProblemInstance, RequestSequence, simulate
 from repro.paging import BeladyMIN, min_fault_count
 from repro.workloads import single_disk_example, uniform_random, zipf
 
-from ..conftest import random_single_instances
+from helpers import random_single_instances
 
 
 class TestAggressive:

@@ -1,0 +1,114 @@
+"""Tests for the batched experiment runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import (
+    ExperimentPoint,
+    ExperimentSpec,
+    evaluate_instances,
+    instance_fingerprint,
+    run_experiments,
+)
+from repro.disksim import ProblemInstance
+from repro.errors import ConfigurationError
+from repro.workloads import single_disk_example, zipf
+
+
+def _small_spec(**overrides):
+    base = dict(
+        name="t",
+        workloads=("zipf:n=40,blocks=10",),
+        cache_sizes=(4, 6),
+        fetch_times=(3,),
+        algorithms=("aggressive", "demand"),
+        seeds=(0, 1),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_grid_expansion_order_and_size(self):
+        points = _small_spec().points()
+        assert len(points) == 1 * 2 * 1 * 2 * 2  # workloads*seeds*F*k*algorithms
+        assert points[0].workload == "zipf:n=40,blocks=10,seed=0"
+        assert points[0].cache_size == 4 and points[0].algorithm == "aggressive"
+        assert points[1].algorithm == "demand"
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _small_spec(algorithms=())
+
+    def test_point_without_workload_or_instance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentPoint().build_instance()
+
+
+class TestRun:
+    def test_serial_and_parallel_emit_identical_json(self):
+        spec = _small_spec()
+        serial = run_experiments(spec, workers=0)
+        fanned = run_experiments(spec, workers=2)
+        assert serial.to_json() == fanned.to_json()
+        assert len(serial.rows) == 8
+
+    def test_rows_carry_metrics(self):
+        run = run_experiments(_small_spec(cache_sizes=(4,), seeds=(0,)))
+        row = run.as_rows()[0]
+        assert row["algorithm"] == "aggressive"
+        assert row["elapsed_time"] == row["num_requests"] + row["stall_time"]
+
+    def test_caching_round_trip(self, tmp_path):
+        spec = _small_spec(cache_sizes=(4,), seeds=(0,))
+        first = run_experiments(spec, cache_dir=tmp_path)
+        assert first.cached_points == 0
+        second = run_experiments(spec, cache_dir=tmp_path)
+        assert second.cached_points == len(second.rows) == 2
+        assert second.to_json() == first.to_json()
+
+    def test_json_and_csv_files(self, tmp_path):
+        run = run_experiments(_small_spec(cache_sizes=(4,), seeds=(0,)))
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        run.write_json(json_path)
+        run.write_csv(csv_path)
+        document = json.loads(json_path.read_text())
+        assert document["num_points"] == 2
+        header = csv_path.read_text().splitlines()[0]
+        assert "stall_time" in header and "algorithm" in header
+
+    def test_cache_hit_keeps_current_labels(self, tmp_path):
+        """Content-shared cache entries must not leak the writing run's labels."""
+        instance = single_disk_example()
+        first = evaluate_instances([("labelA", instance)], ["aggressive"], cache_dir=tmp_path)
+        second = evaluate_instances([("labelB", instance)], ["aggressive"], cache_dir=tmp_path)
+        assert second.cached_points == 1
+        assert second.metric("elapsed_time")["labelB alg=aggressive"] == (
+            first.metric("elapsed_time")["labelA alg=aggressive"]
+        )
+
+    def test_evaluate_instances(self):
+        run = evaluate_instances(
+            [("paper", single_disk_example())], ["aggressive", "conservative"]
+        )
+        elapsed = run.metric("elapsed_time")
+        assert elapsed["paper alg=aggressive"] == 13
+        assert elapsed["paper alg=conservative"] == 12
+
+
+class TestFingerprint:
+    def test_equal_instances_share_fingerprints(self):
+        a = ProblemInstance.single_disk(zipf(30, 8, seed=1), cache_size=4, fetch_time=3)
+        b = ProblemInstance.single_disk(zipf(30, 8, seed=1), cache_size=4, fetch_time=3)
+        assert a is not b
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+
+    def test_fingerprint_covers_parameters(self):
+        base = ProblemInstance.single_disk(zipf(30, 8, seed=1), cache_size=4, fetch_time=3)
+        assert instance_fingerprint(base) != instance_fingerprint(base.with_cache_size(5))
+        other_seq = ProblemInstance.single_disk(zipf(30, 8, seed=2), cache_size=4, fetch_time=3)
+        assert instance_fingerprint(base) != instance_fingerprint(other_seq)

@@ -5,12 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.disksim import DiskLayout, ProblemInstance, RequestSequence
-from repro.workloads import (
-    parallel_disk_example,
-    single_disk_example,
-    uniform_random,
-    zipf,
-)
+from repro.workloads import parallel_disk_example, single_disk_example
 
 
 @pytest.fixture
@@ -53,18 +48,7 @@ def small_parallel_instance() -> ProblemInstance:
     )
 
 
-def random_single_instances(count: int = 4, *, max_requests: int = 40):
-    """A small battery of random single-disk instances (used by several tests)."""
-    instances = []
-    for seed in range(count):
-        if seed % 2:
-            sequence = uniform_random(
-                20 + 5 * seed, 6 + 2 * seed, seed=seed, prefix=f"u{seed}_"
-            )
-        else:
-            sequence = zipf(20 + 5 * seed, 6 + 2 * seed, seed=seed, prefix=f"z{seed}_")
-        sequence = sequence[: max_requests]
-        instances.append(
-            ProblemInstance.single_disk(sequence, cache_size=4 + seed, fetch_time=2 + seed % 4)
-        )
-    return instances
+# Shared non-fixture helpers live in tests/helpers.py (importable as
+# ``helpers`` because pytest puts this conftest's directory on sys.path);
+# re-exported here for any legacy uses.
+from helpers import random_single_instances  # noqa: E402,F401

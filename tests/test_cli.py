@@ -74,6 +74,37 @@ class TestCommands:
         assert "optimal stall" in out
         assert "conservative" in out
 
+    def test_sweep_command(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "-w",
+                "zipf:n=30,blocks=8;loop:blocks=10,loops=2",
+                "-k",
+                "4,6",
+                "-F",
+                "3",
+                "-a",
+                "aggressive,demand",
+                "--seeds",
+                "0",
+                "--workers",
+                "2",
+                "--json",
+                str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 points" in out
+        assert "aggressive" in out and "demand" in out
+        import json as json_module
+
+        document = json_module.loads(json_path.read_text())
+        assert document["num_points"] == 8
+        assert document["results"][0]["workload"] == "zipf:n=30,blocks=8,seed=0"
+
     def test_lowerbound_command(self, capsys):
         code = main(["lowerbound", "-k", "7", "-F", "4", "--phases", "3"])
         out = capsys.readouterr().out
