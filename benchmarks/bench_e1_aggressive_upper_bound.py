@@ -13,7 +13,7 @@ from repro.analysis import evaluate_instances, format_table
 from repro.core.bounds import SingleDiskBounds
 from repro.disksim import ProblemInstance
 from repro.lp import optimal_single_disk
-from repro.workloads import theorem2_sequence, zipf
+from repro.workloads import build_workload_instance
 
 from conftest import emit
 
@@ -30,10 +30,13 @@ GRID = [
 
 
 def _instance(k: int, fetch_time: int, kind: str) -> ProblemInstance:
+    # Both families are built from their registry spec strings (the thm2
+    # construction takes k/F from the caller like any grid point would).
     if kind == "adversarial":
-        return theorem2_sequence(k, fetch_time, num_phases=4).instance
-    sequence = zipf(60, max(10, 2 * k), seed=k * 31 + fetch_time, prefix=f"e1_{k}_{fetch_time}_")
-    return ProblemInstance.single_disk(sequence, cache_size=k, fetch_time=fetch_time)
+        spec = "thm2:phases=4"
+    else:
+        spec = f"zipf:n=60,blocks={max(10, 2 * k)},seed={k * 31 + fetch_time}"
+    return build_workload_instance(spec, cache_size=k, fetch_time=fetch_time)
 
 
 def test_e1_aggressive_upper_bound(benchmark):

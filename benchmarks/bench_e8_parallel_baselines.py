@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro.analysis import evaluate_instances, format_table
 from repro.lp import optimal_parallel_schedule
-from repro.workloads import uniform_random
-from repro.workloads.multidisk import striped_instance
+from repro.workloads import build_workload_instance
 
 from conftest import emit
 
@@ -20,8 +19,10 @@ DISKS = [1, 2, 3, 4]
 
 
 def _instance(num_disks: int):
-    sequence = uniform_random(40, 16, seed=17, prefix="e8_")
-    return striped_instance(sequence, 6, 4, num_disks)
+    return build_workload_instance(
+        "uniform:n=40,blocks=16,seed=17",
+        cache_size=6, fetch_time=4, disks=num_disks, layout="striped",
+    )
 
 
 def test_e8_parallel_baselines(benchmark):

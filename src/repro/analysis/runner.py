@@ -46,8 +46,12 @@ from ..algorithms.registry import make_algorithm
 from ..disksim.executor import simulate
 from ..disksim.instance import ProblemInstance
 from ..errors import ConfigurationError
-from ..workloads.multidisk import striped_instance
-from ..workloads.spec import parse_workload, with_spec_params
+from ..workloads.spec import (
+    build_workload_instance,
+    get_layout_builder,
+    with_spec_params,
+    workload_accepts,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -68,10 +72,16 @@ __all__ = [
 class ExperimentSpec:
     """A declarative experiment grid.
 
-    The cross product ``workloads x seeds x disks x cache_sizes x fetch_times
-    x algorithms`` defines the points.  ``seeds`` is applied by rewriting the
-    workload spec's ``seed`` parameter (generators without a seed parameter
-    simply ignore it); leave it at ``(None,)`` to take the specs verbatim.
+    The cross product ``workloads x seeds x disks x layouts x cache_sizes x
+    fetch_times x algorithms`` defines the points.  ``seeds`` is applied by
+    rewriting the workload spec's ``seed`` parameter for workloads whose
+    schema documents one; deterministic generators collapse the seed axis to
+    a single point (the typed registry would reject an injected key they
+    don't accept, and re-running them per seed would duplicate identical
+    rows).  Leave it at ``(None,)`` to take every spec verbatim.  ``layouts`` names block
+    placements from :data:`repro.workloads.spec.LAYOUT_BUILDERS`; at
+    ``disks == 1`` placement is irrelevant, so only the first layout is
+    emitted there (no duplicate points).
     """
 
     name: str
@@ -81,34 +91,52 @@ class ExperimentSpec:
     algorithms: Tuple[str, ...]
     disks: Tuple[int, ...] = (1,)
     seeds: Tuple[Optional[int], ...] = (None,)
+    layouts: Tuple[str, ...] = ("striped",)
     engine: str = "indexed"
 
     def __post_init__(self):
-        for axis in ("workloads", "cache_sizes", "fetch_times", "algorithms", "disks", "seeds"):
+        for axis in (
+            "workloads", "cache_sizes", "fetch_times", "algorithms",
+            "disks", "seeds", "layouts",
+        ):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
-        if not all([self.workloads, self.cache_sizes, self.fetch_times, self.algorithms]):
+        if not all(
+            [self.workloads, self.cache_sizes, self.fetch_times, self.algorithms,
+             self.disks, self.seeds, self.layouts]
+        ):
             raise ConfigurationError("every grid axis needs at least one entry")
+        for layout in self.layouts:
+            get_layout_builder(layout)  # fail at construction, not in a worker
 
     def points(self) -> List["ExperimentPoint"]:
         """The grid points in deterministic (nested-loop) order."""
         out: List[ExperimentPoint] = []
         for workload in self.workloads:
-            for seed in self.seeds:
-                spec = workload if seed is None else with_spec_params(workload, seed=seed)
+            seedable = workload_accepts(workload, "seed")
+            # A workload without a seed parameter regenerates identically for
+            # every seed; collapse the axis so no duplicate points are emitted.
+            for seed in self.seeds if seedable else self.seeds[:1]:
+                if seed is None or not seedable:
+                    spec = workload
+                else:
+                    spec = with_spec_params(workload, seed=seed)
                 for disks in self.disks:
-                    for cache_size in self.cache_sizes:
-                        for fetch_time in self.fetch_times:
-                            for algorithm in self.algorithms:
-                                out.append(
-                                    ExperimentPoint(
-                                        workload=spec,
-                                        cache_size=cache_size,
-                                        fetch_time=fetch_time,
-                                        disks=disks,
-                                        algorithm=algorithm,
-                                        engine=self.engine,
+                    layouts = self.layouts if disks > 1 else self.layouts[:1]
+                    for layout in layouts:
+                        for cache_size in self.cache_sizes:
+                            for fetch_time in self.fetch_times:
+                                for algorithm in self.algorithms:
+                                    out.append(
+                                        ExperimentPoint(
+                                            workload=spec,
+                                            cache_size=cache_size,
+                                            fetch_time=fetch_time,
+                                            disks=disks,
+                                            layout=layout,
+                                            algorithm=algorithm,
+                                            engine=self.engine,
+                                        )
                                     )
-                                )
         return out
 
 
@@ -126,6 +154,7 @@ class ExperimentPoint:
     cache_size: int = 16
     fetch_time: int = 8
     disks: int = 1
+    layout: str = "striped"
     algorithm: str = "aggressive"
     engine: str = "indexed"
     label: Optional[str] = None
@@ -137,18 +166,22 @@ class ExperimentPoint:
             return self.instance
         if self.workload is None:
             raise ConfigurationError("ExperimentPoint needs a workload spec or an instance")
-        sequence = parse_workload(self.workload)
-        if self.disks > 1:
-            return striped_instance(sequence, self.cache_size, self.fetch_time, self.disks)
-        return ProblemInstance.single_disk(sequence, self.cache_size, self.fetch_time)
+        return build_workload_instance(
+            self.workload,
+            cache_size=self.cache_size,
+            fetch_time=self.fetch_time,
+            disks=self.disks,
+            layout=self.layout,
+        )
 
     def describe(self) -> str:
         """Stable human-readable label of the point."""
         if self.label is not None:
             return self.label
+        placement = f" layout={self.layout}" if self.disks > 1 else ""
         return (
             f"{self.workload} k={self.cache_size} F={self.fetch_time} "
-            f"D={self.disks} alg={self.algorithm}"
+            f"D={self.disks}{placement} alg={self.algorithm}"
         )
 
 
@@ -195,9 +228,12 @@ def _point_cache_key(point: ExperimentPoint) -> str:
     equal instances share entries across labels.
     """
     if point.workload is not None:
+        # Layout only shapes the instance when there is more than one disk;
+        # leaving it out of the D=1 identity lets those entries be shared.
+        placement = f";layout={point.layout}" if point.disks > 1 else ""
         identity = (
             f"spec={point.workload};k={point.cache_size};F={point.fetch_time};"
-            f"D={point.disks}"
+            f"D={point.disks}{placement}"
         )
     else:
         identity = instance_fingerprint(point.build_instance())
@@ -222,6 +258,7 @@ def _evaluate_point(point: ExperimentPoint) -> Dict[str, object]:
         "cache_size": instance.cache_size,
         "fetch_time": instance.fetch_time,
         "disks": instance.num_disks,
+        "layout": point.layout if point.workload is not None and point.disks > 1 else None,
         "algorithm": result.policy_name,
         "algorithm_spec": point.algorithm,
         "num_requests": metrics.num_requests,
@@ -332,6 +369,9 @@ def _execute_points(
                 hit["point"] = point.describe()
                 hit["workload"] = point.workload
                 hit["algorithm_spec"] = point.algorithm
+                hit["layout"] = (
+                    point.layout if point.workload is not None and point.disks > 1 else None
+                )
                 rows[position] = hit
                 cached_points += 1
                 continue

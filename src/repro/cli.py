@@ -8,14 +8,19 @@ Commands
                 measured ratios against the LP optimum.
 ``sweep``     — run an algorithm x parameter grid through the batched
                 experiment runner (multi-process, cached, JSON/CSV output).
+``workloads`` — print the typed workload catalog: every registered spec name,
+                its parameter schema and an example spec, plus the layouts.
 ``lowerbound``— build the Theorem 2 adversarial instance and report
                 Aggressive's measured ratio next to the theoretical bound.
 ``bounds``    — print the Section 2 bound formulas for a (k, F) grid.
 
 Workload specs are small strings like ``zipf:n=200,blocks=50,skew=0.8`` or
 ``trace:path=/tmp/trace.txt`` so common experiments can be run without
-writing Python; anything more elaborate should use the library API directly
-(see the examples/ directory).
+writing Python (``repro workloads`` lists the full catalog); anything more
+elaborate should use the library API directly (see the examples/ directory).
+Parsing is strict: unknown or duplicate parameters and uncoercible values
+exit with a one-line configuration error instead of silently running a
+different experiment.
 """
 
 from __future__ import annotations
@@ -35,17 +40,24 @@ from .errors import ReproError
 from .viz.gantt import render_gantt
 from .viz.timeline import render_timeline
 from .workloads import theorem2_sequence
-from .workloads.multidisk import striped_instance
-from .workloads.spec import parse_workload
+from .workloads.spec import (
+    LAYOUT_BUILDERS,
+    build_workload_instance,
+    format_workload_catalog,
+    parse_workload,
+)
 
 __all__ = ["main", "build_parser", "parse_workload"]
 
 
 def _make_instance(args: argparse.Namespace) -> ProblemInstance:
-    sequence = parse_workload(args.workload)
-    if args.disks > 1:
-        return striped_instance(sequence, args.cache_size, args.fetch_time, args.disks)
-    return ProblemInstance.single_disk(sequence, args.cache_size, args.fetch_time)
+    return build_workload_instance(
+        args.workload,
+        cache_size=args.cache_size,
+        fetch_time=args.fetch_time,
+        disks=args.disks,
+        layout=args.layout,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,10 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", "-w", default="zipf:n=200,blocks=50",
-                       help="workload spec, e.g. zipf:n=200,blocks=50,skew=0.8")
+                       help="workload spec, e.g. zipf:n=200,blocks=50,skew=0.8 "
+                       "(see 'repro workloads' for the catalog)")
         p.add_argument("--cache-size", "-k", type=int, default=16)
         p.add_argument("--fetch-time", "-F", type=int, default=8)
         p.add_argument("--disks", "-D", type=int, default=1)
+        p.add_argument("--layout", default="striped",
+                       choices=sorted(LAYOUT_BUILDERS),
+                       help="block placement when --disks > 1")
 
     p_sim = sub.add_parser("simulate", help="run one algorithm and print metrics")
     add_common(p_sim)
@@ -90,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated fetch times")
     p_sweep.add_argument("--disks", "-D", default="1", help="comma-separated disk counts")
     p_sweep.add_argument(
+        "--layouts", default="striped",
+        help="comma-separated block placements swept when a disk count > 1 "
+        f"(available: {', '.join(sorted(LAYOUT_BUILDERS))})",
+    )
+    p_sweep.add_argument(
         "--algorithms", "-a", default="aggressive,conservative,combination,demand",
         help="comma-separated algorithm specs",
     )
@@ -104,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", dest="csv_path", default=None,
                          help="write results as CSV to this path")
     p_sweep.add_argument("--name", default="cli-sweep", help="experiment name")
+
+    p_wl = sub.add_parser(
+        "workloads", help="list the workload catalog and parameter schemas"
+    )
+    p_wl.add_argument("name", nargs="?", default=None,
+                      help="show only this workload (with per-parameter help)")
 
     p_lb = sub.add_parser("lowerbound", help="run the Theorem 2 adversarial construction")
     p_lb.add_argument("--cache-size", "-k", type=int, default=13)
@@ -160,6 +187,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_sizes=tuple(_parse_int_list(args.cache_sizes)),
         fetch_times=tuple(_parse_int_list(args.fetch_times)),
         disks=tuple(_parse_int_list(args.disks)),
+        layouts=tuple(l.strip() for l in args.layouts.split(",") if l.strip()),
         algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
         seeds=seeds,
     )
@@ -169,7 +197,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({run.cached_points} cached, workers={args.workers})"
     )
     print(format_table(run.as_rows(), columns=[
-        "workload", "cache_size", "fetch_time", "disks", "algorithm",
+        "workload", "cache_size", "fetch_time", "disks", "layout", "algorithm",
         "stall_time", "elapsed_time", "num_fetches", "hit_rate",
     ]))
     if args.json_path:
@@ -178,6 +206,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv_path:
         run.write_csv(args.csv_path)
         print(f"wrote CSV to {args.csv_path}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(format_workload_catalog(args.name))
     return 0
 
 
@@ -222,6 +255,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "workloads": _cmd_workloads,
         "lowerbound": _cmd_lowerbound,
         "bounds": _cmd_bounds,
     }

@@ -8,6 +8,7 @@ from .adversarial import (
     theorem2_sequence,
 )
 from .multidisk import (
+    contiguous_partitioned_instance,
     first_seen_round_robin_instance,
     hashed_instance,
     partitioned_instance,
@@ -20,9 +21,20 @@ from .paper_examples import (
     single_disk_example_good_schedule,
     single_disk_example_greedy_schedule,
 )
+from .spec import (
+    LAYOUT_BUILDERS,
+    WORKLOAD_REGISTRY,
+    build_workload_instance,
+    format_workload_catalog,
+    parse_workload,
+    with_spec_params,
+    workload_accepts,
+)
 from .synthetic import (
     looping_scan,
+    markov_phases,
     mixed_phases,
+    multiclient_streams,
     sequential_scan,
     strided_scan,
     uniform_random,
@@ -38,10 +50,18 @@ from .traces import (
 )
 
 __all__ = [
+    "LAYOUT_BUILDERS",
+    "WORKLOAD_REGISTRY",
+    "build_workload_instance",
+    "format_workload_catalog",
+    "parse_workload",
+    "with_spec_params",
+    "workload_accepts",
     "Theorem2Construction",
     "cao_f_ge_k_sequence",
     "theorem2_parameters",
     "theorem2_sequence",
+    "contiguous_partitioned_instance",
     "first_seen_round_robin_instance",
     "hashed_instance",
     "partitioned_instance",
@@ -52,7 +72,9 @@ __all__ = [
     "single_disk_example_good_schedule",
     "single_disk_example_greedy_schedule",
     "looping_scan",
+    "markov_phases",
     "mixed_phases",
+    "multiclient_streams",
     "sequential_scan",
     "strided_scan",
     "uniform_random",

@@ -11,7 +11,8 @@ objects from any request sequence.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import re
+from typing import Iterable, List, Sequence, Tuple
 
 from .._typing import BlockId
 from ..disksim.disk import DiskLayout
@@ -23,6 +24,7 @@ __all__ = [
     "striped_instance",
     "hashed_instance",
     "partitioned_instance",
+    "contiguous_partitioned_instance",
     "first_seen_round_robin_instance",
 ]
 
@@ -82,6 +84,46 @@ def first_seen_round_robin_instance(
             next_disk = (next_disk + 1) % num_disks
     layout = DiskLayout(num_disks, mapping)
     return ProblemInstance.parallel_disk(seq, cache_size, fetch_time, layout, initial_cache)
+
+
+def contiguous_partitioned_instance(
+    requests: RequestSequence | Sequence[BlockId],
+    cache_size: int,
+    fetch_time: int,
+    num_disks: int,
+    *,
+    initial_cache: Iterable[BlockId] = (),
+) -> ProblemInstance:
+    """Split the sorted block list into ``num_disks`` contiguous chunks, one per disk.
+
+    Name-adjacent blocks (a file's extent, one client's region, one stream)
+    land on the same disk, so scan-shaped access within a chunk serialises on
+    that disk — the unfavourable contrast to striping/round-robin that the
+    layout sweeps measure.  This is the spec-addressable form of
+    :func:`partitioned_instance` (which needs explicit partitions).
+    """
+    if num_disks < 1:
+        raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
+    seq = _as_sequence(requests)
+    blocks = sorted(seq.distinct_blocks, key=_natural_key)
+    chunk = -(-len(blocks) // num_disks)  # ceil division; trailing chunks may be empty
+    partitions = [blocks[d * chunk : (d + 1) * chunk] for d in range(num_disks)]
+    layout = DiskLayout.partitioned(partitions)
+    return ProblemInstance.parallel_disk(seq, cache_size, fetch_time, layout, initial_cache)
+
+
+def _natural_key(block: BlockId) -> Tuple[object, ...]:
+    """Sort key treating digit runs numerically, so ``s2`` precedes ``s10``.
+
+    Plain lexicographic order would scatter the generators' numeric names
+    (``s0, s1, s10, s11, ..., s2, ...``) and make the "contiguous" chunks
+    interleave in access order, erasing the serialisation behaviour this
+    layout exists to exhibit.
+    """
+    parts: List[object] = []
+    for piece in re.split(r"(\d+)", str(block)):
+        parts.append((1, int(piece)) if piece.isdigit() else (0, piece))
+    return tuple(parts)
 
 
 def partitioned_instance(

@@ -1,4 +1,4 @@
-"""Workload specification strings.
+"""Typed workload-spec registry: strict parsing of portable instance descriptions.
 
 Workload specs are small strings like ``zipf:n=200,blocks=50,skew=0.8`` or
 ``trace:path=/tmp/trace.txt``.  They originated in the CLI, but the batched
@@ -6,15 +6,69 @@ experiment runner (:mod:`repro.analysis.runner`) uses them as its *portable
 instance description*: a spec string pickles trivially, regenerates the same
 sequence deterministically in any worker process (all generators take
 explicit seeds), and doubles as a human-readable label and cache key.
+
+Every workload is declared as a :class:`WorkloadDef` carrying a typed
+parameter schema (:class:`ParamSpec`), which makes parsing strict by
+construction: unknown keys, duplicate keys, malformed items and uncoercible
+values all raise :class:`~repro.errors.ConfigurationError` naming the spec
+and the workload's valid parameters.  A misspelled parameter can therefore
+never silently fall back to a default and corrupt a sweep.
+
+Grammar
+-------
+``name[:key=value,key=value,...]`` — the workload name selects a
+:data:`WORKLOAD_REGISTRY` entry; parameters are ``key=value`` pairs
+separated by ``,``.  A value may contain ``=`` (paths like ``a=b.txt``
+round-trip exactly; the split is on the *first* ``=``), but never ``,`` —
+the separator is not escapable, and both :func:`parse_workload` and
+:func:`with_spec_params` reject embedded commas with a clear error instead
+of truncating the value.
+
+Two kinds of workload exist:
+
+* ``sequence`` — the builder produces a
+  :class:`~repro.disksim.sequence.RequestSequence`; cache size, fetch time
+  and the disk layout come from the caller (the CLI flags or the experiment
+  grid axes).
+* ``instance`` — adversarial constructions (``thm2``, ``cao``) whose warm
+  initial cache is part of the construction; the builder produces a full
+  :class:`~repro.disksim.instance.ProblemInstance`.  ``k``/``F`` may be
+  pinned in the spec; otherwise the caller's values flow in, so grids can
+  sweep them.
+
+Multi-disk layouts are spec-addressable too: :data:`LAYOUT_BUILDERS` maps
+``striped | hashed | roundrobin | partitioned`` to the
+:mod:`repro.workloads.multidisk` builders, and
+:func:`build_workload_instance` combines workload x layout x disk count
+into a ready :class:`ProblemInstance`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..disksim.instance import ProblemInstance
 from ..disksim.sequence import RequestSequence
 from ..errors import ConfigurationError
-from .synthetic import looping_scan, sequential_scan, uniform_random, zipf
+from .adversarial import cao_f_ge_k_sequence, theorem2_sequence
+from .multidisk import (
+    contiguous_partitioned_instance,
+    first_seen_round_robin_instance,
+    hashed_instance,
+    striped_instance,
+)
+from .synthetic import (
+    looping_scan,
+    markov_phases,
+    mixed_phases,
+    multiclient_streams,
+    sequential_scan,
+    strided_scan,
+    uniform_random,
+    working_set_shift,
+    zipf,
+)
 from .traces import (
     database_join_trace,
     file_scan_trace,
@@ -22,47 +76,509 @@ from .traces import (
     multimedia_stream_trace,
 )
 
-__all__ = ["WORKLOAD_BUILDERS", "parse_workload", "with_spec_params"]
+__all__ = [
+    "ParamSpec",
+    "WorkloadDef",
+    "WORKLOAD_REGISTRY",
+    "LAYOUT_BUILDERS",
+    "split_spec",
+    "parse_workload",
+    "build_workload_instance",
+    "with_spec_params",
+    "workload_accepts",
+    "format_workload_catalog",
+]
 
-WORKLOAD_BUILDERS: Dict[str, Callable[[Dict[str, str]], RequestSequence]] = {
-    "zipf": lambda p: zipf(
-        int(p.get("n", 200)), int(p.get("blocks", 50)), skew=float(p.get("skew", 1.0)),
-        seed=int(p.get("seed", 0)),
-    ),
-    "uniform": lambda p: uniform_random(
-        int(p.get("n", 200)), int(p.get("blocks", 50)), seed=int(p.get("seed", 0))
-    ),
-    "loop": lambda p: looping_scan(int(p.get("blocks", 20)), int(p.get("loops", 5))),
-    "scan": lambda p: sequential_scan(int(p.get("blocks", 100))),
-    "filescan": lambda p: file_scan_trace(
-        int(p.get("files", 4)), int(p.get("blocks", 25)), rescans=int(p.get("rescans", 1))
-    ),
-    "join": lambda p: database_join_trace(
-        int(p.get("outer", 8)), int(p.get("inner", 12)),
-    ),
-    "stream": lambda p: multimedia_stream_trace(
-        int(p.get("streams", 3)), int(p.get("blocks", 40))
-    ),
-    "trace": lambda p: load_trace(p["path"]),
+
+# ---------------------------------------------------------------------------------
+# parameter schema
+# ---------------------------------------------------------------------------------
+
+_REQUIRED = object()
+
+
+def _coerce_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"not a boolean: {text!r}")
+
+
+_TYPE_NAMES: Dict[Callable, str] = {
+    int: "int",
+    float: "float",
+    str: "str",
+    _coerce_bool: "bool",
 }
 
 
-def parse_workload(spec: str) -> RequestSequence:
-    """Parse a workload spec string into a request sequence."""
-    name, _, params_text = spec.partition(":")
-    params: Dict[str, str] = {}
-    if params_text:
-        for item in params_text.split(","):
-            if not item:
-                continue
-            key, _, value = item.partition("=")
-            params[key.strip()] = value.strip()
-    builder = WORKLOAD_BUILDERS.get(name.strip().lower())
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed parameter of a workload: name, coercer, default, description."""
+
+    name: str
+    coerce: Callable = int
+    default: object = _REQUIRED
+    help: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is _REQUIRED
+
+    @property
+    def type_name(self) -> str:
+        return _TYPE_NAMES.get(self.coerce, getattr(self.coerce, "__name__", "value"))
+
+    def describe(self) -> str:
+        """``name=default (type)`` rendering for the catalog."""
+        if self.required:
+            return f"{self.name} ({self.type_name}, required)"
+        return f"{self.name}={self.default} ({self.type_name})"
+
+
+@dataclass(frozen=True)
+class WorkloadDef:
+    """A registered workload: name, typed parameter schema and builder.
+
+    ``kind == "sequence"`` builders take the coerced parameters as keyword
+    arguments and return a :class:`RequestSequence`.  ``kind == "instance"``
+    builders additionally receive ``k`` and ``F`` (declared in ``params``
+    with construction-appropriate defaults) and return a full
+    :class:`ProblemInstance` including its warm initial cache.
+    """
+
+    name: str
+    summary: str
+    builder: Callable
+    params: Tuple[ParamSpec, ...] = ()
+    kind: str = "sequence"
+    example: str = ""
+
+    def __post_init__(self):
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"workload {self.name!r} declares duplicate parameters")
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def coerce_params(self, raw: Mapping[str, str], spec: str) -> Dict[str, object]:
+        """Coerce raw string parameters against the schema, strictly.
+
+        Unknown keys, missing required keys and uncoercible values raise
+        :class:`ConfigurationError` naming ``spec`` and the valid parameters.
+        """
+        allowed = {p.name: p for p in self.params}
+        unknown = sorted(set(raw) - set(allowed))
+        if unknown:
+            raise ConfigurationError(
+                f"workload {self.name!r} in spec {spec!r}: unknown parameter(s) "
+                f"{', '.join(repr(k) for k in unknown)}; valid parameters: "
+                f"{', '.join(self.param_names) or '(none)'}"
+            )
+        coerced: Dict[str, object] = {}
+        for param in self.params:
+            if param.name in raw:
+                text = raw[param.name]
+                try:
+                    coerced[param.name] = param.coerce(text)
+                except (TypeError, ValueError) as exc:
+                    raise ConfigurationError(
+                        f"workload {self.name!r} in spec {spec!r}: parameter "
+                        f"{param.name}={text!r} is not a valid {param.type_name}: {exc}"
+                    ) from exc
+            elif param.required:
+                raise ConfigurationError(
+                    f"workload {self.name!r} in spec {spec!r}: missing required "
+                    f"parameter {param.name!r}"
+                )
+            else:
+                coerced[param.name] = param.default
+        return coerced
+
+
+# ---------------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------------
+
+WORKLOAD_REGISTRY: Dict[str, WorkloadDef] = {}
+
+
+def register_workload(definition: WorkloadDef) -> WorkloadDef:
+    """Add ``definition`` to :data:`WORKLOAD_REGISTRY` (rejecting duplicates)."""
+    if definition.name in WORKLOAD_REGISTRY:
+        raise ConfigurationError(f"workload {definition.name!r} is already registered")
+    WORKLOAD_REGISTRY[definition.name] = definition
+    return definition
+
+
+def _def(name, summary, builder, params, kind="sequence", example=""):
+    register_workload(
+        WorkloadDef(
+            name=name, summary=summary, builder=builder,
+            params=tuple(params), kind=kind, example=example or name,
+        )
+    )
+
+
+_def(
+    "zipf",
+    "Zipf-skewed references over a block population",
+    lambda n, blocks, skew, seed: zipf(n, blocks, skew=skew, seed=seed),
+    [
+        ParamSpec("n", int, 200, "number of requests"),
+        ParamSpec("blocks", int, 50, "distinct blocks"),
+        ParamSpec("skew", float, 1.0, "Zipf exponent (0 = uniform)"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="zipf:n=500,blocks=100,skew=0.8",
+)
+
+_def(
+    "uniform",
+    "Independent uniform references",
+    lambda n, blocks, seed: uniform_random(n, blocks, seed=seed),
+    [
+        ParamSpec("n", int, 200, "number of requests"),
+        ParamSpec("blocks", int, 50, "distinct blocks"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="uniform:n=300,blocks=40,seed=2",
+)
+
+_def(
+    "scan",
+    "One sequential pass over the blocks",
+    lambda blocks, repeats: sequential_scan(blocks, repeats_per_block=repeats),
+    [
+        ParamSpec("blocks", int, 100, "distinct blocks"),
+        ParamSpec("repeats", int, 1, "consecutive repeats per block"),
+    ],
+    example="scan:blocks=60",
+)
+
+_def(
+    "strided",
+    "Strided scan visiting every stride-th block modulo the population",
+    lambda blocks, stride, n: strided_scan(blocks, stride, n),
+    [
+        ParamSpec("blocks", int, 100, "distinct blocks"),
+        ParamSpec("stride", int, 7, "stride between consecutive requests"),
+        ParamSpec("n", int, 100, "number of requests"),
+    ],
+    example="strided:blocks=64,stride=9,n=200",
+)
+
+_def(
+    "loop",
+    "Repeated scans of the same block set (the classic prefetching win)",
+    lambda blocks, loops: looping_scan(blocks, loops),
+    [
+        ParamSpec("blocks", int, 20, "blocks per loop"),
+        ParamSpec("loops", int, 5, "number of loop iterations"),
+    ],
+    example="loop:blocks=30,loops=10",
+)
+
+_def(
+    "wss",
+    "Working-set shift: uniform references in a sliding per-phase window",
+    lambda phases, blocks, n, overlap, seed: working_set_shift(
+        phases, blocks, n, overlap=overlap, seed=seed
+    ),
+    [
+        ParamSpec("phases", int, 4, "number of phases"),
+        ParamSpec("blocks", int, 25, "window size (blocks per phase)"),
+        ParamSpec("n", int, 100, "requests per phase"),
+        ParamSpec("overlap", int, 5, "blocks shared by consecutive windows"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="wss:phases=6,blocks=20,n=80,overlap=4",
+)
+
+_def(
+    "mixed",
+    "Scan + loop + Zipf phases, concatenated or randomly interleaved",
+    lambda scan_blocks, loop_blocks, loops, zipf_n, zipf_blocks, skew, interleave, seed: (
+        mixed_phases(
+            [
+                sequential_scan(scan_blocks, prefix="mx_s"),
+                looping_scan(loop_blocks, loops, prefix="mx_l"),
+                zipf(zipf_n, zipf_blocks, skew=skew, seed=seed, prefix="mx_z"),
+            ],
+            interleave=interleave,
+            seed=seed,
+        )
+    ),
+    [
+        ParamSpec("scan_blocks", int, 40, "blocks in the scan phase"),
+        ParamSpec("loop_blocks", int, 15, "blocks per loop iteration"),
+        ParamSpec("loops", int, 3, "loop iterations"),
+        ParamSpec("zipf_n", int, 80, "requests in the Zipf phase"),
+        ParamSpec("zipf_blocks", int, 30, "distinct blocks in the Zipf phase"),
+        ParamSpec("skew", float, 1.0, "Zipf exponent"),
+        ParamSpec("interleave", _coerce_bool, False, "merge phases in random order"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="mixed:interleave=true,seed=3",
+)
+
+_def(
+    "markov",
+    "Markov-modulated locality: a hot window that jumps at random instants",
+    lambda n, blocks, window, locality, switch, seed: markov_phases(
+        n, blocks, window=window, locality=locality, switch=switch, seed=seed
+    ),
+    [
+        ParamSpec("n", int, 400, "number of requests"),
+        ParamSpec("blocks", int, 100, "distinct blocks"),
+        ParamSpec("window", int, 12, "hot-window size"),
+        ParamSpec("locality", float, 0.9, "probability a request stays in the window"),
+        ParamSpec("switch", float, 0.05, "per-request probability the window jumps"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="markov:n=1000,blocks=200,window=16,switch=0.02",
+)
+
+_def(
+    "multiclient",
+    "Interleaved per-client Zipf streams plus a shared hot set (many users)",
+    lambda clients, n, blocks, shared, shared_frac, skew, seed: multiclient_streams(
+        clients, n, blocks_per_client=blocks, shared_blocks=shared,
+        shared_fraction=shared_frac, skew=skew, seed=seed,
+    ),
+    [
+        ParamSpec("clients", int, 8, "number of concurrent clients"),
+        ParamSpec("n", int, 400, "total number of requests"),
+        ParamSpec("blocks", int, 20, "private blocks per client"),
+        ParamSpec("shared", int, 10, "blocks in the shared hot set"),
+        ParamSpec("shared_frac", float, 0.3, "probability a request hits the shared set"),
+        ParamSpec("skew", float, 0.8, "Zipf exponent within each region"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="multiclient:clients=32,n=2000,shared=16,shared_frac=0.4",
+)
+
+_def(
+    "filescan",
+    "Sequential scans over several files with optional hot metadata blocks",
+    lambda files, blocks, rescans, hot, seed: file_scan_trace(
+        files, blocks, rescans=rescans, hot_block_accesses=hot, seed=seed
+    ),
+    [
+        ParamSpec("files", int, 4, "number of files"),
+        ParamSpec("blocks", int, 25, "blocks per file"),
+        ParamSpec("rescans", int, 1, "full scans of the file set"),
+        ParamSpec("hot", int, 0, "extra references to hot metadata blocks"),
+        ParamSpec("seed", int, 0, "RNG seed"),
+    ],
+    example="filescan:files=6,blocks=20,rescans=2,hot=30",
+)
+
+_def(
+    "join",
+    "Block nested-loop join: rescan the inner relation per outer block",
+    lambda outer, inner, passes: database_join_trace(
+        outer, inner, inner_passes_per_outer=passes
+    ),
+    [
+        ParamSpec("outer", int, 8, "outer-relation blocks"),
+        ParamSpec("inner", int, 12, "inner-relation blocks"),
+        ParamSpec("passes", int, 1, "inner passes per outer block"),
+    ],
+    example="join:outer=10,inner=20",
+)
+
+_def(
+    "stream",
+    "Strictly sequential multimedia streams in round-robin interleaving",
+    lambda streams, blocks: multimedia_stream_trace(streams, blocks),
+    [
+        ParamSpec("streams", int, 3, "number of concurrent streams"),
+        ParamSpec("blocks", int, 40, "blocks per stream"),
+    ],
+    example="stream:streams=4,blocks=30",
+)
+
+_def(
+    "trace",
+    "Request sequence loaded from a one-block-per-line trace file",
+    lambda path: load_trace(path),
+    [ParamSpec("path", str, help="path to the trace file")],
+    example="trace:path=/tmp/trace.txt",
+)
+
+_def(
+    "thm2",
+    "Theorem 2 lower-bound construction (warm instance; needs (F-1) | (k-1))",
+    lambda k, F, phases: theorem2_sequence(k, F, phases).instance,
+    [
+        ParamSpec("k", int, 13, "cache size (defaults to the caller's -k)"),
+        ParamSpec("F", int, 4, "fetch time (defaults to the caller's -F)"),
+        ParamSpec("phases", int, 4, "number of adversarial phases"),
+    ],
+    kind="instance",
+    example="thm2:phases=6",
+)
+
+_def(
+    "cao",
+    "Cao et al. F >= k stress: cyclic scan over k+1 blocks (warm instance)",
+    lambda k, F, cycles: cao_f_ge_k_sequence(k, F, cycles),
+    [
+        ParamSpec("k", int, 8, "cache size (defaults to the caller's -k)"),
+        ParamSpec("F", int, 10, "fetch time (defaults to the caller's -F)"),
+        ParamSpec("cycles", int, 4, "number of cycles over the k+1 blocks"),
+    ],
+    kind="instance",
+    example="cao:cycles=6",
+)
+
+
+# ---------------------------------------------------------------------------------
+# multi-disk layouts
+# ---------------------------------------------------------------------------------
+
+#: Spec-addressable placement strategies for ``disks > 1``; every builder has
+#: the uniform signature ``(requests, cache_size, fetch_time, num_disks)``.
+LAYOUT_BUILDERS: Dict[str, Callable[..., ProblemInstance]] = {
+    "striped": striped_instance,
+    "hashed": hashed_instance,
+    "roundrobin": first_seen_round_robin_instance,
+    "partitioned": contiguous_partitioned_instance,
+}
+
+
+def get_layout_builder(layout: str) -> Callable[..., ProblemInstance]:
+    """The layout builder registered under ``layout`` (strict)."""
+    builder = LAYOUT_BUILDERS.get(layout.strip().lower())
     if builder is None:
         raise ConfigurationError(
-            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOAD_BUILDERS))}"
+            f"unknown layout {layout!r}; available: {', '.join(sorted(LAYOUT_BUILDERS))}"
         )
-    return builder(params)
+    return builder
+
+
+# ---------------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------------
+
+
+def split_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``name:key=value,...`` into the name and raw string parameters.
+
+    Strict at the grammar level: every item must be ``key=value`` (split on
+    the *first* ``=``, so values may contain ``=``), keys must be unique and
+    non-empty, and empty items are rejected.  A value can never contain ``,``
+    — an item without ``=`` is diagnosed as a likely embedded comma.
+    """
+    name, _, params_text = spec.partition(":")
+    name = name.strip().lower()
+    if not name:
+        raise ConfigurationError(f"workload spec {spec!r} has an empty workload name")
+    params: Dict[str, str] = {}
+    if not params_text.strip():
+        return name, params
+    for item in params_text.split(","):
+        item = item.strip()
+        if not item:
+            raise ConfigurationError(
+                f"workload spec {spec!r} contains an empty parameter item "
+                "(stray or trailing ',')"
+            )
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"workload spec {spec!r}: malformed parameter {item!r} — expected "
+                "key=value; note that values cannot contain ',' (the parameter "
+                "separator is not escapable)"
+            )
+        if key in params:
+            raise ConfigurationError(
+                f"workload spec {spec!r}: duplicate parameter {key!r}"
+            )
+        params[key] = value.strip()
+    return name, params
+
+
+def get_workload(name: str, spec: Optional[str] = None) -> WorkloadDef:
+    """The :class:`WorkloadDef` registered under ``name`` (strict)."""
+    definition = WORKLOAD_REGISTRY.get(name.strip().lower())
+    if definition is None:
+        shown = spec if spec is not None else name
+        raise ConfigurationError(
+            f"unknown workload {name!r} in spec {shown!r}; available: "
+            f"{', '.join(sorted(WORKLOAD_REGISTRY))}"
+        )
+    return definition
+
+
+def parse_workload(spec: str) -> RequestSequence:
+    """Parse a workload spec string into a request sequence (strictly).
+
+    For ``instance``-kind workloads the construction is built from the
+    spec's (or the schema's default) ``k``/``F`` and its request sequence is
+    returned; use :func:`build_workload_instance` to keep the warm instance.
+    """
+    name, raw = split_spec(spec)
+    definition = get_workload(name, spec)
+    params = definition.coerce_params(raw, spec)
+    built = definition.builder(**params)
+    if isinstance(built, ProblemInstance):
+        return built.sequence
+    return built
+
+
+def build_workload_instance(
+    spec: str,
+    *,
+    cache_size: int,
+    fetch_time: int,
+    disks: int = 1,
+    layout: str = "striped",
+) -> ProblemInstance:
+    """Build the full problem instance described by ``spec`` x layout x disks.
+
+    ``sequence``-kind workloads are combined with the caller's cache size,
+    fetch time and (for ``disks > 1``) the named placement strategy from
+    :data:`LAYOUT_BUILDERS`.  ``instance``-kind workloads (``thm2``, ``cao``)
+    carry their own warm cache; ``k``/``F`` pinned in the spec win over the
+    caller's values, and multi-disk placement is rejected (the constructions
+    are single-disk proofs).
+    """
+    name, raw = split_spec(spec)
+    definition = get_workload(name, spec)
+    params = definition.coerce_params(raw, spec)
+    if definition.kind == "instance":
+        if disks > 1:
+            raise ConfigurationError(
+                f"workload {definition.name!r} in spec {spec!r} is a single-disk "
+                f"construction; it cannot be placed on {disks} disks"
+            )
+        if "k" not in raw:
+            params["k"] = cache_size
+        if "F" not in raw:
+            params["F"] = fetch_time
+        return definition.builder(**params)
+    sequence = definition.builder(**params)
+    if disks > 1:
+        return get_layout_builder(layout)(sequence, cache_size, fetch_time, disks)
+    return ProblemInstance.single_disk(sequence, cache_size, fetch_time)
+
+
+def workload_accepts(spec: str, param_name: str) -> bool:
+    """Whether the workload named by ``spec`` documents parameter ``param_name``.
+
+    Lets the runner rewrite ``seed`` only into workloads that actually take a
+    seed — strict parsing means deterministic generators no longer silently
+    swallow an injected ``seed=...`` key.
+    """
+    name, _ = split_spec(spec)
+    return param_name in get_workload(name, spec).param_names
 
 
 def with_spec_params(spec: str, **overrides) -> str:
@@ -70,18 +586,84 @@ def with_spec_params(spec: str, **overrides) -> str:
 
     Used by the runner to expand one workload spec over a seed grid:
     ``with_spec_params("zipf:n=100", seed=3) == "zipf:n=100,seed=3"``.
+    Purely textual (the workload name is not resolved), but grammar-strict:
+    the incoming spec must parse, and override values containing ``,`` are
+    rejected — the separator is not escapable, so such a value could never
+    round-trip through :func:`parse_workload`.
     """
-    name, _, params_text = spec.partition(":")
-    params: Dict[str, str] = {}
-    if params_text:
-        for item in params_text.split(","):
-            if not item:
-                continue
-            key, _, value = item.partition("=")
-            params[key.strip()] = value.strip()
+    name, params = split_spec(spec)
     for key, value in overrides.items():
-        params[key] = str(value)
+        text = str(value)
+        if "," in text:
+            raise ConfigurationError(
+                f"cannot set {key}={text!r} on spec {spec!r}: values cannot "
+                "contain ',' (the parameter separator is not escapable)"
+            )
+        params[key] = text
     if not params:
         return name
     joined = ",".join(f"{k}={v}" for k, v in params.items())
     return f"{name}:{joined}"
+
+
+# ---------------------------------------------------------------------------------
+# the catalog
+# ---------------------------------------------------------------------------------
+
+
+def workload_catalog_rows() -> List[Dict[str, str]]:
+    """One row per registered workload: name, kind, parameters, example."""
+    rows = []
+    for name in sorted(WORKLOAD_REGISTRY):
+        definition = WORKLOAD_REGISTRY[name]
+        rendered = ", ".join(p.describe() for p in definition.params)
+        rows.append(
+            {
+                "name": name,
+                "kind": definition.kind,
+                "summary": definition.summary,
+                "params": rendered or "(none)",
+                "example": definition.example,
+            }
+        )
+    return rows
+
+
+def format_workload_catalog(name: Optional[str] = None) -> str:
+    """Human-readable catalog of workloads (and layouts) for ``repro workloads``.
+
+    With ``name`` set, only that workload is shown (with per-parameter help
+    lines); otherwise the full catalog plus the layout registry is rendered.
+    """
+    if name is not None:
+        definition = get_workload(name)
+        lines = [f"{definition.name} ({definition.kind}) — {definition.summary}"]
+        if definition.params:
+            lines.append("  parameters:")
+            for p in definition.params:
+                default = "required" if p.required else f"default {p.default}"
+                help_text = f" — {p.help}" if p.help else ""
+                lines.append(f"    {p.name} ({p.type_name}, {default}){help_text}")
+        else:
+            lines.append("  parameters: (none)")
+        lines.append(f"  example: {definition.example}")
+        return "\n".join(lines)
+
+    lines = [
+        f"workload catalog ({len(WORKLOAD_REGISTRY)} workloads, "
+        f"{len(LAYOUT_BUILDERS)} layouts)",
+        "",
+    ]
+    for row in workload_catalog_rows():
+        lines.append(f"{row['name']} ({row['kind']}) — {row['summary']}")
+        lines.append(f"  params:  {row['params']}")
+        lines.append(f"  example: {row['example']}")
+        lines.append("")
+    lines.append(
+        "layouts (block placement for --disks > 1): "
+        + ", ".join(sorted(LAYOUT_BUILDERS))
+    )
+    lines.append(
+        "spec grammar: name[:key=value,...] — values may contain '=', never ','"
+    )
+    return "\n".join(lines)

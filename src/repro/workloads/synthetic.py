@@ -27,6 +27,8 @@ __all__ = [
     "looping_scan",
     "mixed_phases",
     "working_set_shift",
+    "markov_phases",
+    "multiclient_streams",
 ]
 
 
@@ -36,6 +38,12 @@ def _block_names(num_blocks: int, prefix: str = "x") -> List[BlockId]:
 
 def _rng(seed: Optional[int]) -> np.random.Generator:
     return np.random.default_rng(seed)
+
+
+def _zipf_weights(count: int, skew: float) -> np.ndarray:
+    """Normalised Zipf weights: rank ``j`` (1-based) has weight ``1/j^skew``."""
+    weights = 1.0 / np.power(np.arange(1, count + 1, dtype=float), skew)
+    return weights / weights.sum()
 
 
 def uniform_random(
@@ -69,9 +77,7 @@ def zipf(
         raise ConfigurationError("skew must be non-negative")
     rng = _rng(seed)
     names = _block_names(num_blocks, prefix)
-    weights = 1.0 / np.power(np.arange(1, num_blocks + 1, dtype=float), skew)
-    weights /= weights.sum()
-    picks = rng.choice(num_blocks, size=num_requests, p=weights)
+    picks = rng.choice(num_blocks, size=num_requests, p=_zipf_weights(num_blocks, skew))
     return RequestSequence([names[i] for i in picks])
 
 
@@ -141,6 +147,97 @@ def working_set_shift(
         names = [f"{prefix}{base + j}" for j in range(blocks_per_phase)]
         picks = rng.integers(0, blocks_per_phase, size=requests_per_phase)
         requests.extend(names[i] for i in picks)
+    return RequestSequence(requests)
+
+
+def markov_phases(
+    num_requests: int,
+    num_blocks: int,
+    *,
+    window: int = 12,
+    locality: float = 0.9,
+    switch: float = 0.05,
+    seed: Optional[int] = 0,
+    prefix: str = "m",
+) -> RequestSequence:
+    """Markov-modulated phase locality: a hot window that jumps at random instants.
+
+    A two-level reference model: at every request the process stays in its
+    current locality phase with probability ``1 - switch`` or jumps the hot
+    window to a uniformly random position.  Within a phase, a request falls
+    inside the ``window``-block hot set with probability ``locality`` and is
+    uniform over all ``num_blocks`` otherwise.  Unlike
+    :func:`working_set_shift`, phase lengths are geometrically distributed —
+    the workload interleaves long stable stretches (where caching wins) with
+    bursts of rapid shifts (where prefetching must restock the cache).
+    """
+    if num_requests < 1 or num_blocks < 1:
+        raise ConfigurationError("num_requests and num_blocks must be positive")
+    if not 1 <= window <= num_blocks:
+        raise ConfigurationError("window must lie in [1, num_blocks]")
+    if not 0.0 <= locality <= 1.0 or not 0.0 <= switch <= 1.0:
+        raise ConfigurationError("locality and switch must lie in [0, 1]")
+    rng = _rng(seed)
+    names = _block_names(num_blocks, prefix)
+    start = int(rng.integers(0, num_blocks))
+    requests: List[BlockId] = []
+    for _ in range(num_requests):
+        if rng.random() < switch:
+            start = int(rng.integers(0, num_blocks))
+        if rng.random() < locality:
+            requests.append(names[(start + int(rng.integers(0, window))) % num_blocks])
+        else:
+            requests.append(names[int(rng.integers(0, num_blocks))])
+    return RequestSequence(requests)
+
+
+def multiclient_streams(
+    num_clients: int,
+    num_requests: int,
+    *,
+    blocks_per_client: int = 20,
+    shared_blocks: int = 10,
+    shared_fraction: float = 0.3,
+    skew: float = 0.8,
+    seed: Optional[int] = 0,
+    prefix: str = "mc",
+) -> RequestSequence:
+    """Interleaved per-client reference streams emulating many concurrent users.
+
+    Each of ``num_clients`` clients owns a private region of
+    ``blocks_per_client`` blocks it references with Zipf popularity ``skew``;
+    with probability ``shared_fraction`` a request instead hits a global hot
+    set of ``shared_blocks`` blocks (indexes, catalogs).  Requests arrive from
+    a uniformly random client, so the streams interleave arbitrarily — the
+    shared cache sees per-client locality diluted by the concurrency, the
+    regime a production buffer pool actually operates in.
+    """
+    if num_clients < 1 or num_requests < 1 or blocks_per_client < 1:
+        raise ConfigurationError("num_clients, num_requests and blocks_per_client must be positive")
+    if shared_blocks < 0:
+        raise ConfigurationError("shared_blocks must be non-negative")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ConfigurationError("shared_fraction must lie in [0, 1]")
+    if shared_fraction > 0 and shared_blocks == 0:
+        raise ConfigurationError("shared_fraction > 0 needs shared_blocks >= 1")
+    if skew < 0:
+        raise ConfigurationError("skew must be non-negative")
+    rng = _rng(seed)
+    private_weights = _zipf_weights(blocks_per_client, skew)
+    shared_names = [f"{prefix}_sh{j}" for j in range(shared_blocks)]
+    shared_weights = _zipf_weights(shared_blocks, skew) if shared_blocks else None
+    client_names = [
+        [f"{prefix}{c}_{j}" for j in range(blocks_per_client)] for c in range(num_clients)
+    ]
+    requests: List[BlockId] = []
+    for _ in range(num_requests):
+        if shared_weights is not None and rng.random() < shared_fraction:
+            requests.append(shared_names[int(rng.choice(shared_blocks, p=shared_weights))])
+        else:
+            client = int(rng.integers(0, num_clients))
+            requests.append(
+                client_names[client][int(rng.choice(blocks_per_client, p=private_weights))]
+            )
     return RequestSequence(requests)
 
 

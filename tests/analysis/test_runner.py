@@ -47,6 +47,47 @@ class TestSpec:
         with pytest.raises(ConfigurationError):
             ExperimentPoint().build_instance()
 
+    def test_layout_axis_swept_only_on_multi_disk_counts(self):
+        spec = _small_spec(
+            cache_sizes=(4,), seeds=(0,), algorithms=("aggressive",),
+            disks=(1, 2), layouts=("striped", "partitioned"),
+        )
+        points = spec.points()
+        # D=1 emits one point (placement irrelevant); D=2 emits one per layout.
+        assert len(points) == 1 + 2
+        assert [(p.disks, p.layout) for p in points] == [
+            (1, "striped"), (2, "striped"), (2, "partitioned"),
+        ]
+        assert "layout=partitioned" in points[2].describe()
+        assert "layout" not in points[0].describe()
+
+    def test_layout_changes_the_instance(self):
+        kwargs = dict(workload="scan:blocks=12", cache_size=4, fetch_time=3, disks=3)
+        striped = ExperimentPoint(layout="striped", **kwargs).build_instance()
+        partitioned = ExperimentPoint(layout="partitioned", **kwargs).build_instance()
+        assert striped.num_disks == partitioned.num_disks == 3
+        placements = lambda inst: {b: inst.disk_of(b) for b in inst.sequence.distinct_blocks}
+        assert placements(striped) != placements(partitioned)
+
+    def test_seed_axis_collapses_for_deterministic_workloads(self):
+        spec = _small_spec(workloads=("scan:blocks=10",), cache_sizes=(4,),
+                          algorithms=("aggressive",), seeds=(0, 1))
+        points = spec.points()
+        # scan has no seed parameter: no key is injected and no duplicate
+        # points are emitted for the extra seeds.
+        assert [p.workload for p in points] == ["scan:blocks=10"]
+
+    def test_unknown_layout_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown layout"):
+            _small_spec(layouts=("raid5",))
+
+    def test_instance_kind_workload_in_grid(self):
+        spec = _small_spec(workloads=("thm2:phases=2",), cache_sizes=(13,),
+                          fetch_times=(4,), algorithms=("aggressive",), seeds=(None,))
+        rows = run_experiments(spec).as_rows()
+        assert len(rows) == 1
+        assert rows[0]["cache_size"] == 13 and rows[0]["fetch_time"] == 4
+
 
 class TestRun:
     def test_serial_and_parallel_emit_identical_json(self):
@@ -61,11 +102,30 @@ class TestRun:
         row = run.as_rows()[0]
         assert row["algorithm"] == "aggressive"
         assert row["elapsed_time"] == row["num_requests"] + row["stall_time"]
+        assert row["layout"] is None  # single disk: no placement
+
+    def test_multi_disk_rows_record_layout(self):
+        spec = _small_spec(
+            cache_sizes=(4,), seeds=(0,), algorithms=("parallel-aggressive",),
+            disks=(2,), layouts=("roundrobin",),
+        )
+        row = run_experiments(spec).as_rows()[0]
+        assert row["layout"] == "roundrobin" and row["disks"] == 2
 
     def test_caching_round_trip(self, tmp_path):
         spec = _small_spec(cache_sizes=(4,), seeds=(0,))
         first = run_experiments(spec, cache_dir=tmp_path)
         assert first.cached_points == 0
+        second = run_experiments(spec, cache_dir=tmp_path)
+        assert second.cached_points == len(second.rows) == 2
+        assert second.to_json() == first.to_json()
+
+    def test_caching_round_trip_with_layouts(self, tmp_path):
+        spec = _small_spec(
+            cache_sizes=(4,), seeds=(0,), algorithms=("parallel-aggressive",),
+            disks=(2,), layouts=("striped", "partitioned"),
+        )
+        first = run_experiments(spec, cache_dir=tmp_path)
         second = run_experiments(spec, cache_dir=tmp_path)
         assert second.cached_points == len(second.rows) == 2
         assert second.to_json() == first.to_json()

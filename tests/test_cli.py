@@ -28,6 +28,14 @@ class TestParseWorkload:
         with pytest.raises(ConfigurationError):
             parse_workload("nope:n=3")
 
+    def test_misspelled_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            parse_workload("zipf:blocs=10")
+
+    def test_bad_value_rejected_with_spec_named(self):
+        with pytest.raises(ConfigurationError, match="zipf:n=abc"):
+            parse_workload("zipf:n=abc")
+
 
 class TestCommands:
     def test_parser_requires_command(self):
@@ -105,6 +113,51 @@ class TestCommands:
         assert document["num_points"] == 8
         assert document["results"][0]["workload"] == "zipf:n=30,blocks=8,seed=0"
 
+    def test_sweep_layout_axis(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "-w", "scan:blocks=12",
+                "-k", "4",
+                "-F", "3",
+                "-D", "1,2",
+                "--layouts", "roundrobin,partitioned",
+                "-a", "parallel-aggressive",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 points" in out  # D=1 collapses the layout axis
+        assert "roundrobin" in out and "partitioned" in out
+
+    def test_workloads_command_lists_catalog(self, capsys):
+        code = main(["workloads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("zipf", "markov", "multiclient", "thm2", "trace"):
+            assert name in out
+        assert "striped" in out and "partitioned" in out
+
+    def test_workloads_command_single_entry(self, capsys):
+        code = main(["workloads", "markov"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "locality" in out and "default" in out
+
+    def test_simulate_with_layout(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "-w", "scan:blocks=12",
+                "-k", "4", "-F", "3", "-D", "2",
+                "--layout", "roundrobin",
+                "-a", "parallel-aggressive",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "D=2" in out
+
     def test_lowerbound_command(self, capsys):
         code = main(["lowerbound", "-k", "7", "-F", "4", "--phases", "3"])
         out = capsys.readouterr().out
@@ -122,3 +175,20 @@ class TestCommands:
         err = capsys.readouterr().err
         assert code == 2
         assert "error" in err
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["simulate", "-w", "zipf:blocs=10"],
+            ["compare", "-w", "zipf:n=abc"],
+            ["sweep", "-w", "zipf:seed=None"],
+            ["sweep", "-w", "zipf:n=30,blocks=8", "--layouts", "raid5"],
+        ],
+    )
+    def test_bad_specs_exit_cleanly(self, capsys, command):
+        """Regression: bad parameters print one configuration error, no traceback."""
+        code = main(command)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err

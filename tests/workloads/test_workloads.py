@@ -9,13 +9,16 @@ from repro.disksim import RequestSequence, execute_interval_schedule, simulate
 from repro.errors import ConfigurationError, InvalidSequenceError
 from repro.workloads import (
     cao_f_ge_k_sequence,
+    contiguous_partitioned_instance,
     database_join_trace,
     file_scan_trace,
     first_seen_round_robin_instance,
     hashed_instance,
     load_trace,
     looping_scan,
+    markov_phases,
     mixed_phases,
+    multiclient_streams,
     multimedia_stream_trace,
     parallel_disk_example,
     parallel_disk_example_schedule,
@@ -146,6 +149,57 @@ class TestSynthetic:
             mixed_phases([])
 
 
+class TestMarkovPhases:
+    def test_deterministic_and_sized(self):
+        assert list(markov_phases(80, 30, seed=5)) == list(markov_phases(80, 30, seed=5))
+        assert list(markov_phases(80, 30, seed=5)) != list(markov_phases(80, 30, seed=6))
+        assert len(markov_phases(123, 40)) == 123
+
+    def test_frozen_window_bounds_working_set(self):
+        # With no jumps and full locality, references never leave one window.
+        stuck = markov_phases(200, 100, window=8, locality=1.0, switch=0.0, seed=2)
+        assert stuck.num_distinct <= 8
+
+    def test_switching_widens_working_set(self):
+        stable = markov_phases(400, 100, window=8, locality=1.0, switch=0.0, seed=3)
+        jumpy = markov_phases(400, 100, window=8, locality=1.0, switch=0.2, seed=3)
+        assert jumpy.num_distinct > stable.num_distinct
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            markov_phases(10, 5, window=6)  # window > blocks
+        with pytest.raises(ConfigurationError):
+            markov_phases(10, 5, locality=1.5)
+        with pytest.raises(ConfigurationError):
+            markov_phases(0, 5)
+
+
+class TestMulticlientStreams:
+    def test_deterministic_and_sized(self):
+        a = multiclient_streams(4, 100, seed=1)
+        assert list(a) == list(multiclient_streams(4, 100, seed=1))
+        assert len(a) == 100
+
+    def test_private_regions_are_per_client(self):
+        sequence = multiclient_streams(3, 300, blocks_per_client=5, shared_fraction=0.0,
+                                       shared_blocks=0, seed=2)
+        prefixes = {str(b).split("_")[0] for b in sequence.distinct_blocks}
+        assert prefixes <= {"mc0", "mc1", "mc2"}
+
+    def test_shared_hot_set_appears(self):
+        sequence = multiclient_streams(4, 400, shared_blocks=5, shared_fraction=0.5, seed=3)
+        shared = [b for b in sequence if str(b).startswith("mc_sh")]
+        assert len(shared) > 100  # about half the requests
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            multiclient_streams(0, 10)
+        with pytest.raises(ConfigurationError):
+            multiclient_streams(2, 10, shared_blocks=0, shared_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            multiclient_streams(2, 10, shared_fraction=1.5)
+
+
 class TestTraces:
     def test_generators_shapes(self):
         assert len(file_scan_trace(3, 4)) >= 12
@@ -197,3 +251,16 @@ class TestMultidisk:
             partitioned_instance(sequence, 2, 2, [["a"], ["b"]])
         instance = partitioned_instance(sequence, 2, 2, [["a", "c"], ["b"]])
         assert instance.disk_of("c") == 0
+
+    def test_contiguous_partitioned_splits_sorted_blocks(self):
+        sequence = RequestSequence(["a", "b", "c", "d", "e", "f"])
+        instance = contiguous_partitioned_instance(sequence, 2, 2, 3)
+        assert instance.num_disks == 3
+        assert instance.disk_of("a") == instance.disk_of("b") == 0
+        assert instance.disk_of("c") == instance.disk_of("d") == 1
+        assert instance.disk_of("e") == instance.disk_of("f") == 2
+
+    def test_contiguous_partitioned_tolerates_fewer_blocks_than_disks(self):
+        instance = contiguous_partitioned_instance(RequestSequence(["a", "b"]), 2, 2, 4)
+        assert instance.num_disks == 4
+        assert {instance.disk_of("a"), instance.disk_of("b")} == {0, 1}
