@@ -1,0 +1,95 @@
+"""E12 — the Delay(d) spectrum swept through the typed registry at scale.
+
+Drives ``delay:d=0..n`` through the batched experiment runner purely via
+spec strings (workload x seed x d grid) and confirms the family's endpoint
+identities on every grid point:
+
+* ``Delay(0)`` is exactly the Aggressive strategy, and
+* ``Delay(n)`` (any d >= the sequence length) is exactly Conservative,
+
+so the registry's parametrised ``delay:d=<int>`` form reproduces both
+classical algorithms without a dedicated code path.  Complements E3 (which
+studies the Theorem 3 bound on small LP-checkable instances) with a
+simulation-only sweep two orders of magnitude larger, and doubles as a
+determinism check: the serial and multi-process runs must emit byte-identical
+JSON from the unified ResultSet.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentSpec, format_comparison, run_experiments
+
+from conftest import emit
+
+CACHE = 12
+FETCH_TIME = 6
+DELAYS = [0, 1, 3, 6, 9, 12, 24]
+#: Far beyond every sequence length below — the Conservative endpoint.
+BIG_DELAY = 10**6
+
+WORKLOADS = (
+    "zipf:n=600,blocks=80,skew=0.9",
+    "loop:blocks=50,loops=12",
+    "wss:phases=6,blocks=30,n=120,overlap=6",
+)
+
+
+def _spec() -> ExperimentSpec:
+    algorithms = (
+        ["aggressive", "conservative"]
+        + [f"delay:d={d}" for d in DELAYS]
+        + [f"delay:d={BIG_DELAY}"]
+    )
+    return ExperimentSpec(
+        name="e12-delay-endpoints",
+        workloads=WORKLOADS,
+        cache_sizes=(CACHE,),
+        fetch_times=(FETCH_TIME,),
+        algorithms=tuple(algorithms),
+        seeds=(0, 1),
+    )
+
+
+def test_e12_delay_sweep_endpoints(benchmark):
+    spec = _spec()
+
+    def run():
+        return run_experiments(spec)
+
+    results = benchmark(run)
+
+    # Serial and fanned-out runs over the unified ResultSet stay
+    # byte-identical (grid-order collection, sorted-key JSON).
+    assert run_experiments(spec, workers=2).to_json() == results.to_json()
+
+    # Group the records per instance coordinate: every (workload, k, F)
+    # point must satisfy both endpoint identities.
+    by_instance = {}
+    for record in results:
+        key = (record.workload, record.cache_size, record.fetch_time)
+        by_instance.setdefault(key, {})[record.algorithm_spec] = record
+    assert by_instance
+    for key, records in by_instance.items():
+        aggressive = records["aggressive"].metrics
+        conservative = records["conservative"].metrics
+        d0 = records["delay:d=0"].metrics
+        dn = records[f"delay:d={BIG_DELAY}"].metrics
+        assert d0.elapsed_time == aggressive.elapsed_time, key
+        assert d0.num_fetches == aggressive.num_fetches, key
+        assert dn.elapsed_time == conservative.elapsed_time, key
+        assert dn.num_fetches == conservative.num_fetches, key
+
+    series = {
+        f"d={d}": {
+            f"{key[0][:24]}…" if len(key[0]) > 25 else key[0]: records[
+                f"delay:d={d}"
+            ].metrics.elapsed_time
+            for key, records in by_instance.items()
+        }
+        for d in DELAYS
+    }
+    emit(
+        "E12: Delay(d) endpoints at scale "
+        f"(elapsed time; d=0 ≡ aggressive, d={BIG_DELAY} ≡ conservative)",
+        format_comparison(series, x_label="workload"),
+    )

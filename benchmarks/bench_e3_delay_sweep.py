@@ -39,10 +39,10 @@ def test_e3_delay_parameter_sweep(benchmark):
 
     def run():
         elapsed = evaluate_instances(
-            labeled, [f"delay:{d}" for d in DELAYS]
+            labeled, [f"delay:d={d}" for d in DELAYS]
         ).metric("elapsed_time")
         return {
-            d: [elapsed[f"i{i} alg=delay:{d}"] for i in range(len(instances))]
+            d: [elapsed[f"i{i} alg=delay:d={d}"] for i in range(len(instances))]
             for d in DELAYS
         }
 

@@ -32,7 +32,7 @@ WORKLOADS = {
     "loop": (lambda: looping_scan(60, 84)[:N_REQUESTS], 64, 10),
 }
 
-ALGORITHMS = ("aggressive", "delay:3")
+ALGORITHMS = ("aggressive", "delay:d=3")
 
 
 def _time_run(instance: ProblemInstance, algorithm_spec: str, engine: str, reps: int) -> float:

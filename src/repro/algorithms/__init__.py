@@ -12,9 +12,19 @@ from .base import PrefetchAlgorithm
 from .combination import Combination
 from .conservative import Conservative
 from .delay import Delay
-from .demand import DemandFetch
+from .demand import EVICTION_BACKENDS, DemandFetch
 from .parallel_aggressive import ParallelAggressive, ParallelConservative
-from .registry import available_algorithms, make_algorithm, register_algorithm
+from .registry import (
+    ALGORITHM_REGISTRY,
+    AlgorithmDef,
+    algorithm_catalog_rows,
+    available_algorithms,
+    format_algorithm_catalog,
+    get_algorithm,
+    make_algorithm,
+    parse_algorithm,
+    register_algorithm,
+)
 
 __all__ = [
     "PrefetchAlgorithm",
@@ -23,9 +33,16 @@ __all__ = [
     "Delay",
     "Combination",
     "DemandFetch",
+    "EVICTION_BACKENDS",
     "ParallelAggressive",
     "ParallelConservative",
+    "ALGORITHM_REGISTRY",
+    "AlgorithmDef",
+    "algorithm_catalog_rows",
     "available_algorithms",
+    "format_algorithm_catalog",
+    "get_algorithm",
     "make_algorithm",
+    "parse_algorithm",
     "register_algorithm",
 ]

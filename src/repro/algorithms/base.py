@@ -31,6 +31,12 @@ class PrefetchAlgorithm(ABC):
     #: Human-readable algorithm name used in result tables.
     name: str = "prefetch-algorithm"
 
+    #: The registry spec string this object was built from (set by
+    #: :func:`repro.algorithms.registry.make_algorithm`); ``None`` for
+    #: directly constructed objects.  Run records carry it as the portable
+    #: algorithm identity.
+    spec: Optional[str] = None
+
     def __init__(self) -> None:
         self._instance: Optional[ProblemInstance] = None
 
@@ -72,6 +78,44 @@ class PrefetchAlgorithm(ABC):
     ) -> Optional[BlockId]:
         """The resident block whose next use (from ``measured_from``) is furthest away."""
         return view.furthest_resident(from_position=measured_from, candidates=candidates)
+
+    @staticmethod
+    def tie_broken_victim(
+        view: PolicyView,
+        tiebreak: str,
+        *,
+        measured_from: Optional[int] = None,
+        exclude: FrozenSet[BlockId] = frozenset(),
+    ) -> Optional[BlockId]:
+        """Furthest-next-use victim under the named tie-break direction.
+
+        ``"high"`` is the engine's native ordering (largest block string wins
+        among equally-furthest residents) and costs one heap peek;
+        ``"low"`` prefers the smallest block string and re-scans only the
+        residents tied at the winning distance.
+        """
+        best = view.furthest_resident(from_position=measured_from, exclude=exclude)
+        if best is None or tiebreak == "high":
+            return best
+        start = view.cursor if measured_from is None else measured_from
+        distance = view.next_use(best, from_position=start)
+        tied = [
+            block
+            for block in view.resident
+            if block not in exclude
+            and view.next_use(block, from_position=start) == distance
+        ]
+        return min(tied, key=str)
+
+    @staticmethod
+    def validate_choice(value: str, options: FrozenSet[str], knob: str) -> str:
+        """Validate a knob value against its options (for direct construction)."""
+        lowered = str(value).strip().lower()
+        if lowered not in options:
+            raise ValueError(
+                f"{knob} must be one of {', '.join(sorted(options))}, got {value!r}"
+            )
+        return lowered
 
     @staticmethod
     def can_evict_for(view: PolicyView, target_position: int, victim: BlockId) -> bool:

@@ -15,6 +15,10 @@ The replacements are precomputed by replaying MIN over the sequence
 ``(block, victim, earliest start position)``; fetches are issued in fault
 order whenever the disk is idle and the cursor has reached the earliest start
 position.
+
+Conservative has no tunable knobs — MIN's replacement sequence *is* the
+algorithm — so its registry entry (``conservative``) declares an empty
+parameter schema and any ``conservative:key=value`` spec is rejected.
 """
 
 from __future__ import annotations

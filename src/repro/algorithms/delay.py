@@ -28,6 +28,10 @@ remaining reference before ``j`` — which is precisely "the earliest point in
 time such that the evicted block is not requested again before r_j".  While
 such a reference remains, the algorithm simply keeps serving requests, which
 realises the delay.
+
+The registry spec form is ``delay:d=<int>`` (``delay:<int>`` is a documented
+legacy alias); ``d`` is required because the paper's family is parametrised
+by definition — ``repro algorithms delay`` shows the schema.
 """
 
 from __future__ import annotations

@@ -15,27 +15,59 @@ these simple strategies can be far from optimal as ``D`` grows.
 * :class:`ParallelConservative` — performs MIN's replacements (computed
   globally, exactly as in the single-disk Conservative) but lets each disk
   work through its own queue of planned fetches concurrently.
+
+Within one decision round the disks claim victims and cache slots in turn,
+so the *order* in which idle disks are visited is a real degree of freedom
+the Kimbrel–Karlin analysis leaves open.  Both variants expose it as an
+``order`` knob (``asc``/``desc`` disk ids; spec form
+``parallel-aggressive:order=desc``), and ParallelAggressive additionally
+takes the same victim ``tiebreak`` knob as the single-disk Aggressive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from .._typing import BlockId
+from .._typing import BlockId, DiskId
 from ..disksim.executor import FetchDecision, PolicyView
 from ..disksim.instance import ProblemInstance
 from ..paging.base import run_paging
 from ..paging.belady import BeladyMIN
+from .aggressive import TIEBREAKS
 from .base import PrefetchAlgorithm
 
-__all__ = ["ParallelAggressive", "ParallelConservative"]
+__all__ = ["ParallelAggressive", "ParallelConservative", "DISK_ORDERS"]
+
+#: Valid disk-visit orders for one decision round.
+DISK_ORDERS: FrozenSet[str] = frozenset({"asc", "desc"})
+
+
+def _ordered_disks(view: PolicyView, order: str) -> Tuple[DiskId, ...]:
+    """The idle disks in the configured claim order."""
+    disks = view.idle_disks()
+    return tuple(reversed(disks)) if order == "desc" else disks
 
 
 class ParallelAggressive(PrefetchAlgorithm):
     """Aggressive prefetching independently on every idle disk."""
 
     name = "parallel-aggressive"
+
+    def __init__(self, order: str = "asc", tiebreak: str = "high") -> None:
+        super().__init__()
+        self.order = self.validate_choice(order, DISK_ORDERS, "order")
+        self.tiebreak = self.validate_choice(tiebreak, TIEBREAKS, "tiebreak")
+        knobs = [
+            f"{knob}={value}"
+            for knob, value, default in (
+                ("order", self.order, "asc"),
+                ("tiebreak", self.tiebreak, "high"),
+            )
+            if value != default
+        ]
+        if knobs:
+            self.name = f"parallel-aggressive[{','.join(knobs)}]"
 
     def decide(self, view: PolicyView) -> List[FetchDecision]:
         decisions: List[FetchDecision] = []
@@ -44,7 +76,7 @@ class ParallelAggressive(PrefetchAlgorithm):
         promised_victims: Set[BlockId] = set()
         promised_blocks: Set[BlockId] = set()
         free_slots = view.free_slots
-        for disk in view.idle_disks():
+        for disk in _ordered_disks(view, self.order):
             target = view.next_missing_position(on_disk=disk, exclude=promised_blocks)
             if target is None:
                 continue
@@ -54,7 +86,9 @@ class ParallelAggressive(PrefetchAlgorithm):
                 promised_blocks.add(block)
                 free_slots -= 1
                 continue
-            victim = view.furthest_resident(exclude=promised_victims)
+            victim = self.tie_broken_victim(
+                view, self.tiebreak, exclude=frozenset(promised_victims)
+            )
             if victim is None or view.next_use(victim) <= target:
                 continue
             decisions.append(FetchDecision(disk=disk, block=block, victim=victim))
@@ -76,8 +110,11 @@ class ParallelConservative(PrefetchAlgorithm):
 
     name = "parallel-conservative"
 
-    def __init__(self) -> None:
+    def __init__(self, order: str = "asc") -> None:
         super().__init__()
+        self.order = self.validate_choice(order, DISK_ORDERS, "order")
+        if self.order != "asc":
+            self.name = f"parallel-conservative[order={self.order}]"
         self._queues: Dict[int, List[_PlannedFetch]] = {}
         self._next_index: Dict[int, int] = {}
 
@@ -104,7 +141,7 @@ class ParallelConservative(PrefetchAlgorithm):
         decisions: List[FetchDecision] = []
         promised_victims: Set[BlockId] = set()
         free_slots = view.free_slots
-        for disk in view.idle_disks():
+        for disk in _ordered_disks(view, self.order):
             queue = self._queues.get(disk, [])
             index = self._next_index.get(disk, 0)
             # Skip entries that became moot (block already present).

@@ -1,9 +1,17 @@
-"""Measurement harness: brute-force optima, ratio measurement, sweeps, reports."""
+"""Measurement harness: brute-force optima, ratio measurement, sweeps, reports.
+
+Every producer in this package emits the unified run-record model of
+:mod:`repro.analysis.results`: a :class:`RunRecord` per algorithm x instance
+evaluation, collected into :class:`ResultSet` s with uniform JSON/CSV
+emission — whether the records come from the batched runner, the LP-backed
+ratio harness or an in-process sweep.
+"""
 
 from .compare import ScheduleDiff, diff_schedules, summarize_result
 from .optimal import BruteForceResult, brute_force_optimal_stall
 from .ratios import AlgorithmMeasurement, RatioReport, measure_parallel_stall, measure_ratios
-from .reporting import format_comparison, format_report, format_table
+from .reporting import format_comparison, format_report, format_result_set, format_table
+from .results import RUN_RECORD_COLUMNS, ResultSet, RunRecord, safe_ratio
 from .runner import (
     ExperimentPoint,
     ExperimentRun,
@@ -12,9 +20,13 @@ from .runner import (
     instance_fingerprint,
     run_experiments,
 )
-from .sweep import SweepPoint, SweepResult, run_sweep
+from .sweep import SweepPoint, run_sweep
 
 __all__ = [
+    "RUN_RECORD_COLUMNS",
+    "RunRecord",
+    "ResultSet",
+    "safe_ratio",
     "ExperimentPoint",
     "ExperimentRun",
     "ExperimentSpec",
@@ -32,8 +44,8 @@ __all__ = [
     "measure_ratios",
     "format_comparison",
     "format_report",
+    "format_result_set",
     "format_table",
     "SweepPoint",
-    "SweepResult",
     "run_sweep",
 ]

@@ -3,14 +3,18 @@
 The Section 2 experiments all reduce to the same measurement: run one or more
 algorithms over an instance, compute the optimal elapsed (or stall) time with
 the LP machinery, and report the ratios next to the theoretical bounds.  This
-module provides that measurement as reusable functions returning plain
-dataclasses the reporting layer can tabulate.
+module provides that measurement on top of the unified run-record model:
+each algorithm run yields a full :class:`~repro.analysis.results.RunRecord`
+(instance identity, metrics, optimum, ratios), and the
+:class:`RatioReport` wraps the records of one instance together with the
+compact per-algorithm :class:`AlgorithmMeasurement` rows and the theoretical
+bounds the reporting layer tabulates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..algorithms.base import PrefetchAlgorithm
 from ..core.bounds import SingleDiskBounds
@@ -19,13 +23,14 @@ from ..disksim.instance import ProblemInstance
 from ..errors import ConfigurationError
 from ..lp.parallel import optimal_parallel_schedule
 from ..lp.single_disk import optimal_single_disk
+from .results import ResultSet, RunRecord
 
 __all__ = ["AlgorithmMeasurement", "RatioReport", "measure_ratios", "measure_parallel_stall"]
 
 
 @dataclass(frozen=True)
 class AlgorithmMeasurement:
-    """One algorithm's performance on one instance."""
+    """One algorithm's performance on one instance (the compact ratio row)."""
 
     algorithm: str
     stall_time: int
@@ -33,6 +38,41 @@ class AlgorithmMeasurement:
     num_fetches: int
     elapsed_ratio: float
     stall_ratio: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding (see :meth:`from_dict`)."""
+        return {
+            "algorithm": self.algorithm,
+            "stall_time": self.stall_time,
+            "elapsed_time": self.elapsed_time,
+            "num_fetches": self.num_fetches,
+            "elapsed_ratio": self.elapsed_ratio,
+            "stall_ratio": self.stall_ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AlgorithmMeasurement":
+        """Rebuild a measurement from :meth:`as_dict` output."""
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            stall_time=int(payload["stall_time"]),
+            elapsed_time=int(payload["elapsed_time"]),
+            num_fetches=int(payload["num_fetches"]),
+            elapsed_ratio=float(payload["elapsed_ratio"]),
+            stall_ratio=float(payload["stall_ratio"]),
+        )
+
+    @classmethod
+    def from_record(cls, record: RunRecord) -> "AlgorithmMeasurement":
+        """The compact view of a ratio-carrying :class:`RunRecord`."""
+        return cls(
+            algorithm=record.algorithm,
+            stall_time=record.metrics.stall_time,
+            elapsed_time=record.metrics.elapsed_time,
+            num_fetches=record.metrics.num_fetches,
+            elapsed_ratio=record.elapsed_ratio if record.elapsed_ratio is not None else 1.0,
+            stall_ratio=record.stall_ratio if record.stall_ratio is not None else 1.0,
+        )
 
 
 @dataclass(frozen=True)
@@ -42,8 +82,9 @@ class RatioReport:
     instance_description: str
     optimal_stall: int
     optimal_elapsed: int
-    measurements: tuple
+    measurements: Tuple[AlgorithmMeasurement, ...]
     bounds: Optional[SingleDiskBounds] = None
+    records: Tuple[RunRecord, ...] = ()
 
     def measurement(self, algorithm: str) -> AlgorithmMeasurement:
         """The measurement row for ``algorithm`` (exact name match)."""
@@ -55,6 +96,10 @@ class RatioReport:
     def worst_elapsed_ratio(self) -> float:
         """Largest elapsed-time ratio across all measured algorithms."""
         return max(m.elapsed_ratio for m in self.measurements)
+
+    def to_result_set(self, name: str = "ratios") -> ResultSet:
+        """The full run records of this report as a :class:`ResultSet`."""
+        return ResultSet(name=name, records=self.records)
 
     def as_rows(self) -> List[Dict[str, object]]:
         """Row dictionaries for the reporting table helpers."""
@@ -71,11 +116,68 @@ class RatioReport:
             rows.append(row)
         return rows
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Lossless JSON-safe encoding (see :meth:`from_json_dict`).
 
-def _ratio(value: int, reference: int) -> float:
-    if reference == 0:
-        return 1.0 if value == 0 else float("inf")
-    return value / reference
+        The bounds are stored as their defining ``(k, F)`` pair — every
+        derived value of :class:`SingleDiskBounds` is a closed form over it.
+        """
+        return {
+            "instance_description": self.instance_description,
+            "optimal_stall": self.optimal_stall,
+            "optimal_elapsed": self.optimal_elapsed,
+            "measurements": [m.as_dict() for m in self.measurements],
+            "bounds": None if self.bounds is None else {
+                "cache_size": self.bounds.cache_size,
+                "fetch_time": self.bounds.fetch_time,
+            },
+            "records": [record.to_json_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "RatioReport":
+        """Rebuild a report from :meth:`to_json_dict` output."""
+        bounds = payload.get("bounds")
+        return cls(
+            instance_description=str(payload["instance_description"]),
+            optimal_stall=int(payload["optimal_stall"]),
+            optimal_elapsed=int(payload["optimal_elapsed"]),
+            measurements=tuple(
+                AlgorithmMeasurement.from_dict(m) for m in payload["measurements"]
+            ),
+            bounds=None if bounds is None else SingleDiskBounds(
+                cache_size=int(bounds["cache_size"]),
+                fetch_time=int(bounds["fetch_time"]),
+            ),
+            records=tuple(
+                RunRecord.from_json_dict(r) for r in payload.get("records", ())
+            ),
+        )
+
+
+def _run_records(
+    instance: ProblemInstance,
+    algorithms: Sequence[PrefetchAlgorithm],
+    *,
+    optimal_elapsed: int,
+    optimal_stall: int,
+    point: Optional[str] = None,
+) -> Tuple[RunRecord, ...]:
+    """Simulate every algorithm and record it against the given optimum."""
+    label = point if point is not None else instance.describe()
+    records = []
+    for algorithm in algorithms:
+        result: SimulationResult = simulate(instance, algorithm)
+        records.append(
+            RunRecord.from_simulation(
+                result,
+                point=label,
+                algorithm_spec=algorithm.spec or result.policy_name,
+                optimal_stall=optimal_stall,
+                optimal_elapsed=optimal_elapsed,
+            )
+        )
+    return tuple(records)
 
 
 def measure_ratios(
@@ -84,6 +186,7 @@ def measure_ratios(
     *,
     optimal_elapsed: Optional[int] = None,
     optimal_stall: Optional[int] = None,
+    point: Optional[str] = None,
 ) -> RatioReport:
     """Run ``algorithms`` on a single-disk ``instance`` and compare to the optimum.
 
@@ -99,25 +202,17 @@ def measure_ratios(
         optimal_elapsed = optimum.elapsed_time
         optimal_stall = optimum.stall_time
 
-    measurements = []
-    for algorithm in algorithms:
-        result: SimulationResult = simulate(instance, algorithm)
-        measurements.append(
-            AlgorithmMeasurement(
-                algorithm=result.policy_name,
-                stall_time=result.stall_time,
-                elapsed_time=result.elapsed_time,
-                num_fetches=result.metrics.num_fetches,
-                elapsed_ratio=_ratio(result.elapsed_time, optimal_elapsed),
-                stall_ratio=_ratio(result.stall_time, optimal_stall),
-            )
-        )
+    records = _run_records(
+        instance, algorithms,
+        optimal_elapsed=optimal_elapsed, optimal_stall=optimal_stall, point=point,
+    )
     return RatioReport(
         instance_description=instance.describe(),
         optimal_stall=optimal_stall,
         optimal_elapsed=optimal_elapsed,
-        measurements=tuple(measurements),
+        measurements=tuple(AlgorithmMeasurement.from_record(r) for r in records),
         bounds=SingleDiskBounds(instance.cache_size, instance.fetch_time),
+        records=records,
     )
 
 
@@ -126,27 +221,22 @@ def measure_parallel_stall(
     algorithms: Sequence[PrefetchAlgorithm],
     *,
     method: str = "auto",
+    point: Optional[str] = None,
 ) -> RatioReport:
     """Run ``algorithms`` on a parallel-disk instance and compare stall times
     against the Theorem 4 schedule (which is itself at most the optimum)."""
     optimum = optimal_parallel_schedule(instance, method=method)
-    measurements = []
-    for algorithm in algorithms:
-        result = simulate(instance, algorithm)
-        measurements.append(
-            AlgorithmMeasurement(
-                algorithm=result.policy_name,
-                stall_time=result.stall_time,
-                elapsed_time=result.elapsed_time,
-                num_fetches=result.metrics.num_fetches,
-                elapsed_ratio=_ratio(result.elapsed_time, optimum.elapsed_time),
-                stall_ratio=_ratio(result.stall_time, max(optimum.stall_time, 0)),
-            )
-        )
+    records = _run_records(
+        instance, algorithms,
+        optimal_elapsed=optimum.elapsed_time,
+        optimal_stall=max(optimum.stall_time, 0),
+        point=point,
+    )
     return RatioReport(
         instance_description=instance.describe(),
         optimal_stall=optimum.stall_time,
         optimal_elapsed=optimum.elapsed_time,
-        measurements=tuple(measurements),
+        measurements=tuple(AlgorithmMeasurement.from_record(r) for r in records),
         bounds=None,
+        records=records,
     )

@@ -2,16 +2,22 @@
 
 The benchmarks print their results as aligned text tables (the paper has no
 figures to re-plot, so tables are the native output format of every
-experiment).  Only the standard library is used; the helpers accept the row
-dictionaries produced by :mod:`repro.analysis.ratios` and
-:mod:`repro.analysis.sweep`.
+experiment).  Only the standard library is used; the helpers accept the
+unified result model (:class:`~repro.analysis.results.ResultSet` /
+:class:`~repro.analysis.ratios.RatioReport`) or plain row dictionaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_report", "format_comparison"]
+__all__ = ["format_table", "format_report", "format_result_set", "format_comparison"]
+
+#: Default columns for sweep-style tables (the CLI's ``repro sweep`` view).
+SWEEP_COLUMNS: Sequence[str] = (
+    "workload", "cache_size", "fetch_time", "disks", "layout", "algorithm",
+    "stall_time", "elapsed_time", "num_fetches", "hit_rate",
+)
 
 
 def format_table(
@@ -64,6 +70,25 @@ def format_report(report, *, title: Optional[str] = None) -> str:
         )
     lines.append(format_table(report.as_rows()))
     return "\n".join(lines)
+
+
+def format_result_set(
+    results,
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_precision: int = 3,
+) -> str:
+    """Render a :class:`~repro.analysis.results.ResultSet` as a table.
+
+    ``columns`` selects flat-row columns (default: the sweep view in
+    :data:`SWEEP_COLUMNS`).
+    """
+    selected = list(columns) if columns is not None else list(SWEEP_COLUMNS)
+    return format_table(
+        results.as_rows(selected), columns=selected, title=title,
+        float_precision=float_precision,
+    )
 
 
 def format_comparison(

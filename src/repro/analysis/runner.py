@@ -7,8 +7,9 @@ executed:
 
 * **Declarative grids** — an :class:`ExperimentSpec` names workload specs
   (the portable strings of :mod:`repro.workloads.spec`), cache sizes, fetch
-  times, disk counts, seeds and algorithm specs; the runner expands the
-  cross product into :class:`ExperimentPoint` s.
+  times, disk counts, seeds and algorithm specs (the typed strings of
+  :mod:`repro.algorithms.registry`); the runner expands the cross product
+  into :class:`ExperimentPoint` s.
 
 * **Process fan-out** — points are independent, so they run under a
   ``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1``.
@@ -22,27 +23,27 @@ executed:
   time, layout, warm set), the algorithm spec and the engine.  Re-running a
   sweep after editing an unrelated grid axis only simulates the new points.
 
-* **Uniform emission** — :class:`ExperimentRun` renders to row dictionaries,
-  JSON (sorted keys, stable order) and CSV, so every benchmark script and
-  the CLI produce the same shape of output.
+* **Uniform emission** — every point evaluates to one typed
+  :class:`~repro.analysis.results.RunRecord`; the run returns them as a
+  :class:`~repro.analysis.results.ResultSet` with uniform row/JSON/CSV
+  emission and column selection, the same model the ratio harness and the
+  legacy sweep produce.
 
 Simulation-only measurements (stall/elapsed/fetches) scale to millions of
 requests; LP-backed ratio measurement stays in
-:mod:`repro.analysis.ratios`, which the runner calls per point only when
-``compare_optimal`` is requested.
+:mod:`repro.analysis.ratios`, which shares the :class:`RunRecord` model.
 """
 
 from __future__ import annotations
 
-import csv
 import hashlib
 import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..algorithms.registry import make_algorithm
+from ..algorithms.registry import canonicalize_algorithm_spec, make_algorithm
 from ..disksim.executor import simulate
 from ..disksim.instance import ProblemInstance
 from ..errors import ConfigurationError
@@ -52,6 +53,7 @@ from ..workloads.spec import (
     with_spec_params,
     workload_accepts,
 )
+from .results import ResultSet, RunRecord
 
 __all__ = [
     "ExperimentSpec",
@@ -107,6 +109,11 @@ class ExperimentSpec:
             raise ConfigurationError("every grid axis needs at least one entry")
         for layout in self.layouts:
             get_layout_builder(layout)  # fail at construction, not in a worker
+        for algorithm in self.algorithms:
+            # Construct (and discard) each algorithm: building is cheap and,
+            # unlike a schema-only parse, validates nested component specs
+            # (combination:delay=.../alt=...) before any worker starts.
+            make_algorithm(algorithm)
 
     def points(self) -> List["ExperimentPoint"]:
         """The grid points in deterministic (nested-loop) order."""
@@ -184,6 +191,12 @@ class ExperimentPoint:
             f"D={self.disks}{placement} alg={self.algorithm}"
         )
 
+    def recorded_layout(self) -> Optional[str]:
+        """The layout name a record carries (None where placement is moot)."""
+        if self.workload is not None and self.disks > 1:
+            return self.layout
+        return None
+
 
 # ---------------------------------------------------------------------------------
 # fingerprints and caching
@@ -225,7 +238,8 @@ def _point_cache_key(point: ExperimentPoint) -> str:
     coordinates avoids building every instance serially in the parent just
     to compute keys.  Prebuilt-instance points (already materialised, so
     fingerprinting costs no extra build) are keyed by content, letting
-    equal instances share entries across labels.
+    equal instances share entries across labels.  The algorithm identity is
+    the *canonical* spec, so ``delay:3`` and ``delay:d=3`` share entries.
     """
     if point.workload is not None:
         # Layout only shapes the instance when there is more than one disk;
@@ -237,13 +251,14 @@ def _point_cache_key(point: ExperimentPoint) -> str:
         )
     else:
         identity = instance_fingerprint(point.build_instance())
+    algorithm = canonicalize_algorithm_spec(point.algorithm)
     return hashlib.sha256(
-        f"{identity};alg={point.algorithm};engine={point.engine}".encode()
+        f"{identity};alg={algorithm};engine={point.engine}".encode()
     ).hexdigest()
 
 
-def _evaluate_point(point: ExperimentPoint) -> Dict[str, object]:
-    """Worker entry: simulate one point and return a flat result row.
+def _evaluate_point(point: ExperimentPoint) -> RunRecord:
+    """Worker entry: simulate one point and return its typed record.
 
     Module-level (picklable) so it can run inside a process pool; everything
     it needs travels inside the :class:`ExperimentPoint`.
@@ -251,30 +266,18 @@ def _evaluate_point(point: ExperimentPoint) -> Dict[str, object]:
     instance = point.build_instance()
     algorithm = make_algorithm(point.algorithm)
     result = simulate(instance, algorithm, engine=point.engine)
-    metrics = result.metrics
-    return {
-        "point": point.describe(),
-        "workload": point.workload,
-        "cache_size": instance.cache_size,
-        "fetch_time": instance.fetch_time,
-        "disks": instance.num_disks,
-        "layout": point.layout if point.workload is not None and point.disks > 1 else None,
-        "algorithm": result.policy_name,
-        "algorithm_spec": point.algorithm,
-        "num_requests": metrics.num_requests,
-        "stall_time": metrics.stall_time,
-        "elapsed_time": metrics.elapsed_time,
-        "num_fetches": metrics.num_fetches,
-        "num_demand_fetches": metrics.num_demand_fetches,
-        "cache_hits": metrics.cache_hits,
-        "cache_misses": metrics.cache_misses,
-        "hit_rate": round(metrics.hit_rate, 6),
-        "peak_cache_used": metrics.peak_cache_used,
-    }
+    return RunRecord.from_simulation(
+        result,
+        point=point.describe(),
+        algorithm_spec=point.algorithm,
+        workload=point.workload,
+        layout=point.recorded_layout(),
+        engine=point.engine,
+    )
 
 
 class _ResultCache:
-    """One-JSON-file-per-point cache under a directory."""
+    """One-JSON-file-per-point cache of run records under a directory."""
 
     def __init__(self, directory: Path):
         self.directory = Path(directory)
@@ -283,67 +286,27 @@ class _ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, object]]:
+    def get(self, key: str) -> Optional[RunRecord]:
         path = self._path(key)
         if not path.exists():
             return None
         try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            return RunRecord.from_json_dict(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Unreadable or pre-RunRecord entries are re-simulated, not fatal.
             return None
 
-    def put(self, key: str, row: Mapping[str, object]) -> None:
-        self._path(key).write_text(json.dumps(dict(row), sort_keys=True))
+    def put(self, key: str, record: RunRecord) -> None:
+        self._path(key).write_text(json.dumps(record.to_json_dict(), sort_keys=True))
 
 
 # ---------------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------------
 
-
-@dataclass(frozen=True)
-class ExperimentRun:
-    """The ordered results of one runner invocation."""
-
-    spec_name: str
-    rows: Tuple[Dict[str, object], ...]
-    workers: int = 0
-    cached_points: int = 0
-
-    def as_rows(self) -> List[Dict[str, object]]:
-        """Row dictionaries in grid order (for the table formatter)."""
-        return [dict(row) for row in self.rows]
-
-    def to_json(self) -> str:
-        """Deterministic JSON document (stable order, sorted keys)."""
-        return json.dumps(
-            {
-                "experiment": self.spec_name,
-                "num_points": len(self.rows),
-                "results": [dict(row) for row in self.rows],
-            },
-            sort_keys=True,
-            indent=2,
-        )
-
-    def write_json(self, path) -> None:
-        """Write :meth:`to_json` to ``path``."""
-        Path(path).write_text(self.to_json() + "\n")
-
-    def write_csv(self, path) -> None:
-        """Write the rows as CSV (columns of the first row, grid order)."""
-        rows = self.as_rows()
-        if not rows:
-            Path(path).write_text("")
-            return
-        with open(path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
-            writer.writeheader()
-            writer.writerows(rows)
-
-    def metric(self, metric: str) -> Dict[str, object]:
-        """``{point label: metric value}`` across all rows."""
-        return {row["point"]: row[metric] for row in self.rows}
+#: Backwards-compatible name: runner invocations return the unified
+#: :class:`~repro.analysis.results.ResultSet` model.
+ExperimentRun = ResultSet
 
 
 def _execute_points(
@@ -351,10 +314,10 @@ def _execute_points(
     *,
     workers: int = 0,
     cache_dir=None,
-) -> Tuple[List[Dict[str, object]], int]:
+) -> Tuple[List[RunRecord], int]:
     """Evaluate ``points`` (cached, then serial or fanned out) in grid order."""
     cache = _ResultCache(cache_dir) if cache_dir is not None else None
-    rows: List[Optional[Dict[str, object]]] = [None] * len(points)
+    records: List[Optional[RunRecord]] = [None] * len(points)
     pending: List[Tuple[int, ExperimentPoint, Optional[str]]] = []
     cached_points = 0
     for position, point in enumerate(points):
@@ -366,13 +329,12 @@ def _execute_points(
                 # fields belong to whichever run wrote the entry; restore the
                 # current point's identity so labels stay correct when an
                 # entry is shared across labels.
-                hit["point"] = point.describe()
-                hit["workload"] = point.workload
-                hit["algorithm_spec"] = point.algorithm
-                hit["layout"] = (
-                    point.layout if point.workload is not None and point.disks > 1 else None
+                records[position] = hit.with_identity(
+                    point=point.describe(),
+                    workload=point.workload,
+                    algorithm_spec=point.algorithm,
+                    layout=point.recorded_layout(),
                 )
-                rows[position] = hit
                 cached_points += 1
                 continue
         pending.append((position, point, key))
@@ -383,12 +345,12 @@ def _execute_points(
                 fresh = list(pool.map(_evaluate_point, [p for _, p, _ in pending]))
         else:
             fresh = [_evaluate_point(p) for _, p, _ in pending]
-        for (position, _point, key), row in zip(pending, fresh):
-            rows[position] = row
+        for (position, _point, key), record in zip(pending, fresh):
+            records[position] = record
             if cache is not None and key is not None:
-                cache.put(key, row)
+                cache.put(key, record)
 
-    return [row for row in rows if row is not None], cached_points
+    return [record for record in records if record is not None], cached_points
 
 
 def run_experiments(
@@ -396,19 +358,19 @@ def run_experiments(
     *,
     workers: int = 0,
     cache_dir=None,
-) -> ExperimentRun:
-    """Run the full grid of ``spec`` and return its ordered results.
+) -> ResultSet:
+    """Run the full grid of ``spec`` and return its ordered :class:`ResultSet`.
 
     ``workers > 1`` fans the uncached points out over that many processes;
     output order (and therefore the JSON/CSV documents) is identical to the
     serial run.  ``cache_dir`` enables the per-point result cache.
     """
-    rows, cached_points = _execute_points(
+    records, cached_points = _execute_points(
         spec.points(), workers=workers, cache_dir=cache_dir
     )
-    return ExperimentRun(
-        spec_name=spec.name,
-        rows=tuple(rows),
+    return ResultSet(
+        name=spec.name,
+        records=tuple(records),
         workers=workers,
         cached_points=cached_points,
     )
@@ -421,7 +383,7 @@ def evaluate_instances(
     workers: int = 0,
     engine: str = "indexed",
     cache_dir=None,
-) -> ExperimentRun:
+) -> ResultSet:
     """Evaluate algorithm specs over prebuilt instances (benchmark entry point).
 
     The benchmark scripts construct instances programmatically (adversarial
@@ -442,10 +404,10 @@ def evaluate_instances(
         for label, instance in labeled_instances
         for algorithm in algorithms
     ]
-    rows, cached_points = _execute_points(points, workers=workers, cache_dir=cache_dir)
-    return ExperimentRun(
-        spec_name="ad-hoc",
-        rows=tuple(rows),
+    records, cached_points = _execute_points(points, workers=workers, cache_dir=cache_dir)
+    return ResultSet(
+        name="ad-hoc",
+        records=tuple(records),
         workers=workers,
         cached_points=cached_points,
     )

@@ -1,25 +1,31 @@
-"""Legacy in-process ratio sweeps (superseded by :mod:`repro.analysis.runner`).
+"""In-process ratio sweeps over prebuilt instances (LP optimum per point).
 
 :func:`run_sweep` runs a set of algorithms over a grid of instances and
-collects one :class:`~repro.analysis.ratios.RatioReport` per grid point,
-including the LP optimum of every point — useful for small ratio studies,
-too expensive for scale.  New experiment code (the ``bench_e*`` scripts, the
-``repro sweep`` command) should declare grids through
+computes the optimum of every point with the LP machinery — useful for small
+ratio studies, too expensive for scale.  It emits the same unified
+:class:`~repro.analysis.results.ResultSet` of
+:class:`~repro.analysis.results.RunRecord` s as the batched runner (which
+is what new experiment code should declare grids through:
 :class:`~repro.analysis.runner.ExperimentSpec` /
-:func:`~repro.analysis.runner.evaluate_instances`, which fan out over worker
-processes, cache per-point results and emit uniform JSON/CSV.
+:func:`~repro.analysis.runner.evaluate_instances` fan out over worker
+processes, cache per-point results and skip the per-point LP).
+
+The pre-PR3 ``SweepResult`` row-dict container is gone; its accessors
+(``ratios_for``, ``max_ratio_for``, ``as_rows``) live on :class:`ResultSet`
+for every producer, not just this one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..algorithms.base import PrefetchAlgorithm
 from ..disksim.instance import ProblemInstance
-from .ratios import RatioReport, measure_parallel_stall, measure_ratios
+from .ratios import measure_parallel_stall, measure_ratios
+from .results import ResultSet
 
-__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+__all__ = ["SweepPoint", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -32,69 +38,34 @@ class SweepPoint:
     optimal_stall: Optional[int] = None
 
 
-@dataclass(frozen=True)
-class SweepResult:
-    """All reports of a sweep, keyed by the grid point labels."""
-
-    reports: Dict[str, RatioReport]
-
-    def labels(self) -> List[str]:
-        """Grid point labels in insertion order."""
-        return list(self.reports)
-
-    def ratios_for(self, algorithm: str) -> Dict[str, float]:
-        """Elapsed-time ratio of ``algorithm`` at every grid point."""
-        out = {}
-        for label, report in self.reports.items():
-            try:
-                out[label] = report.measurement(algorithm).elapsed_ratio
-            except KeyError:
-                continue
-        return out
-
-    def max_ratio_for(self, algorithm: str) -> float:
-        """Worst elapsed-time ratio of ``algorithm`` over the sweep."""
-        ratios = self.ratios_for(algorithm)
-        return max(ratios.values()) if ratios else float("nan")
-
-    def as_rows(self) -> List[Dict[str, object]]:
-        """Flat row dictionaries (one per algorithm per grid point)."""
-        rows: List[Dict[str, object]] = []
-        for label, report in self.reports.items():
-            for row in report.as_rows():
-                rows.append(
-                    {
-                        "point": label,
-                        "opt_stall": report.optimal_stall,
-                        "opt_elapsed": report.optimal_elapsed,
-                        **row,
-                    }
-                )
-        return rows
-
-
 def run_sweep(
     points: Iterable[SweepPoint],
     algorithm_factory: Callable[[], Sequence[PrefetchAlgorithm]],
     *,
     parallel: bool = False,
-) -> SweepResult:
+    name: str = "sweep",
+) -> ResultSet:
     """Measure every algorithm produced by ``algorithm_factory`` at every point.
 
     A fresh set of algorithm objects is created per point because algorithms
     carry per-run state (Conservative's MIN plan, Combination's delegate).
+    Returns the concatenated run records (with per-point optimum and ratios)
+    in point-major, algorithm-minor order.
     """
-    reports: Dict[str, RatioReport] = {}
+    records = []
     for point in points:
         algorithms = algorithm_factory()
         if parallel:
-            report = measure_parallel_stall(point.instance, algorithms)
+            report = measure_parallel_stall(
+                point.instance, algorithms, point=point.label
+            )
         else:
             report = measure_ratios(
                 point.instance,
                 algorithms,
                 optimal_elapsed=point.optimal_elapsed,
                 optimal_stall=point.optimal_stall,
+                point=point.label,
             )
-        reports[point.label] = report
-    return SweepResult(reports=reports)
+        records.extend(report.records)
+    return ResultSet(name=name, records=tuple(records))

@@ -10,17 +10,24 @@ Commands
                 experiment runner (multi-process, cached, JSON/CSV output).
 ``workloads`` — print the typed workload catalog: every registered spec name,
                 its parameter schema and an example spec, plus the layouts.
+``algorithms``— print the typed algorithm catalog: every registered algorithm,
+                its parameter schema and an example spec.
 ``lowerbound``— build the Theorem 2 adversarial instance and report
                 Aggressive's measured ratio next to the theoretical bound.
 ``bounds``    — print the Section 2 bound formulas for a (k, F) grid.
 
-Workload specs are small strings like ``zipf:n=200,blocks=50,skew=0.8`` or
-``trace:path=/tmp/trace.txt`` so common experiments can be run without
-writing Python (``repro workloads`` lists the full catalog); anything more
-elaborate should use the library API directly (see the examples/ directory).
-Parsing is strict: unknown or duplicate parameters and uncoercible values
-exit with a one-line configuration error instead of silently running a
-different experiment.
+Workload and algorithm specs share the grammar ``name[:key=value,...]``
+(``zipf:n=200,blocks=50,skew=0.8``, ``delay:d=3``, ``demand:evict=lru``) so
+common experiments can be run without writing Python (``repro workloads`` /
+``repro algorithms`` list the catalogs); anything more elaborate should use
+the library API directly (see the examples/ directory).  Parsing is strict:
+unknown or duplicate parameters and uncoercible values exit with a one-line
+configuration error instead of silently running a different experiment.
+
+List-valued options (``--algorithms``, ``--workloads``) are split on ``;``
+when one is present and on ``,`` otherwise — parametrised specs carry
+``key=value`` pairs separated by commas, so use ``;`` (or a trailing ``;``)
+whenever a listed spec takes more than one parameter.
 """
 
 from __future__ import annotations
@@ -29,9 +36,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .algorithms import make_algorithm
+from .algorithms import format_algorithm_catalog, make_algorithm
 from .analysis.ratios import measure_parallel_stall, measure_ratios
-from .analysis.reporting import format_report, format_table
+from .analysis.reporting import format_report, format_result_set, format_table
 from .analysis.runner import ExperimentSpec, run_experiments
 from .core.bounds import SingleDiskBounds
 from .disksim.executor import simulate
@@ -58,6 +65,18 @@ def _make_instance(args: argparse.Namespace) -> ProblemInstance:
         disks=args.disks,
         layout=args.layout,
     )
+
+
+def _split_specs(text: str) -> List[str]:
+    """Split a list-valued spec option.
+
+    ``;`` is the primary separator (parametrised specs contain commas);
+    plain comma-separated lists of parameterless specs — the historical
+    form, e.g. ``aggressive,conservative,delay:3`` — keep working because
+    the split falls back to ``,`` only when no ``;`` is present.
+    """
+    separator = ";" if ";" in text else ","
+    return [item.strip() for item in text.split(separator) if item.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_cmp)
     p_cmp.add_argument(
         "--algorithms", "-a", default="aggressive,conservative,combination,demand",
-        help="comma-separated algorithm specs",
+        help="algorithm specs separated by ';' (or ',' when none is parametrised), "
+        "e.g. 'aggressive;delay:d=3;demand:evict=lru' "
+        "(see 'repro algorithms' for the catalog)",
     )
 
     p_sweep = sub.add_parser(
@@ -112,7 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--algorithms", "-a", default="aggressive,conservative,combination,demand",
-        help="comma-separated algorithm specs",
+        help="algorithm specs separated by ';' (or ',' when none is parametrised), "
+        "e.g. 'aggressive;delay:d=3;demand:evict=lru'",
     )
     p_sweep.add_argument("--seeds", default="",
                          help="comma-separated seeds substituted into the workload specs")
@@ -131,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_wl.add_argument("name", nargs="?", default=None,
                       help="show only this workload (with per-parameter help)")
+
+    p_alg = sub.add_parser(
+        "algorithms", help="list the algorithm catalog and parameter schemas"
+    )
+    p_alg.add_argument("name", nargs="?", default=None,
+                       help="show only this algorithm (with per-parameter help)")
 
     p_lb = sub.add_parser("lowerbound", help="run the Theorem 2 adversarial construction")
     p_lb.add_argument("--cache-size", "-k", type=int, default=13)
@@ -166,7 +194,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     instance = _make_instance(args)
-    algorithms = [make_algorithm(spec) for spec in args.algorithms.split(",") if spec]
+    algorithms = [make_algorithm(spec) for spec in _split_specs(args.algorithms)]
     if instance.num_disks > 1:
         report = measure_parallel_stall(instance, algorithms)
     else:
@@ -188,18 +216,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fetch_times=tuple(_parse_int_list(args.fetch_times)),
         disks=tuple(_parse_int_list(args.disks)),
         layouts=tuple(l.strip() for l in args.layouts.split(",") if l.strip()),
-        algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
+        algorithms=tuple(_split_specs(args.algorithms)),
         seeds=seeds,
     )
     run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
     print(
-        f"sweep {run.spec_name!r}: {len(run.rows)} points "
+        f"sweep {run.name!r}: {len(run.records)} points "
         f"({run.cached_points} cached, workers={args.workers})"
     )
-    print(format_table(run.as_rows(), columns=[
-        "workload", "cache_size", "fetch_time", "disks", "layout", "algorithm",
-        "stall_time", "elapsed_time", "num_fetches", "hit_rate",
-    ]))
+    print(format_result_set(run))
     if args.json_path:
         run.write_json(args.json_path)
         print(f"wrote JSON to {args.json_path}")
@@ -211,6 +236,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
     print(format_workload_catalog(args.name))
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    print(format_algorithm_catalog(args.name))
     return 0
 
 
@@ -256,6 +286,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "workloads": _cmd_workloads,
+        "algorithms": _cmd_algorithms,
         "lowerbound": _cmd_lowerbound,
         "bounds": _cmd_bounds,
     }

@@ -81,3 +81,24 @@ class SimMetrics:
             "peak_cache_used": self.peak_cache_used,
             "fetches_per_disk": dict(self.fetches_per_disk),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SimMetrics":
+        """Rebuild metrics from :meth:`as_dict` output (JSON round-trip safe).
+
+        Derived fields (``elapsed_time``, ``hit_rate``) are recomputed, and
+        ``fetches_per_disk`` keys survive JSON's string-keyed objects.
+        """
+        return cls(
+            num_requests=int(payload["num_requests"]),
+            stall_time=int(payload["stall_time"]),
+            num_fetches=int(payload["num_fetches"]),
+            num_demand_fetches=int(payload.get("num_demand_fetches", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+            peak_cache_used=int(payload.get("peak_cache_used", 0)),
+            fetches_per_disk={
+                int(disk): int(count)
+                for disk, count in dict(payload.get("fetches_per_disk", {})).items()
+            },
+        )

@@ -51,6 +51,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from ..disksim.instance import ProblemInstance
 from ..disksim.sequence import RequestSequence
 from ..errors import ConfigurationError
+from ..specs import ParamSpec, coerce_bool, coerce_params
+from ..specs import split_spec as _split_spec_generic
+from ..specs import with_params as _with_params_generic
 from .adversarial import cao_f_ge_k_sequence, theorem2_sequence
 from .multidisk import (
     contiguous_partitioned_instance,
@@ -94,48 +97,9 @@ __all__ = [
 # parameter schema
 # ---------------------------------------------------------------------------------
 
-_REQUIRED = object()
-
-
-def _coerce_bool(text: str) -> bool:
-    lowered = text.strip().lower()
-    if lowered in ("1", "true", "yes", "on"):
-        return True
-    if lowered in ("0", "false", "no", "off"):
-        return False
-    raise ValueError(f"not a boolean: {text!r}")
-
-
-_TYPE_NAMES: Dict[Callable, str] = {
-    int: "int",
-    float: "float",
-    str: "str",
-    _coerce_bool: "bool",
-}
-
-
-@dataclass(frozen=True)
-class ParamSpec:
-    """One typed parameter of a workload: name, coercer, default, description."""
-
-    name: str
-    coerce: Callable = int
-    default: object = _REQUIRED
-    help: str = ""
-
-    @property
-    def required(self) -> bool:
-        return self.default is _REQUIRED
-
-    @property
-    def type_name(self) -> str:
-        return _TYPE_NAMES.get(self.coerce, getattr(self.coerce, "__name__", "value"))
-
-    def describe(self) -> str:
-        """``name=default (type)`` rendering for the catalog."""
-        if self.required:
-            return f"{self.name} ({self.type_name}, required)"
-        return f"{self.name}={self.default} ({self.type_name})"
+#: Backwards-compatible aliases: the schema machinery now lives in
+#: :mod:`repro.specs`, shared with the algorithm registry.
+_coerce_bool = coerce_bool
 
 
 @dataclass(frozen=True)
@@ -171,33 +135,7 @@ class WorkloadDef:
         Unknown keys, missing required keys and uncoercible values raise
         :class:`ConfigurationError` naming ``spec`` and the valid parameters.
         """
-        allowed = {p.name: p for p in self.params}
-        unknown = sorted(set(raw) - set(allowed))
-        if unknown:
-            raise ConfigurationError(
-                f"workload {self.name!r} in spec {spec!r}: unknown parameter(s) "
-                f"{', '.join(repr(k) for k in unknown)}; valid parameters: "
-                f"{', '.join(self.param_names) or '(none)'}"
-            )
-        coerced: Dict[str, object] = {}
-        for param in self.params:
-            if param.name in raw:
-                text = raw[param.name]
-                try:
-                    coerced[param.name] = param.coerce(text)
-                except (TypeError, ValueError) as exc:
-                    raise ConfigurationError(
-                        f"workload {self.name!r} in spec {spec!r}: parameter "
-                        f"{param.name}={text!r} is not a valid {param.type_name}: {exc}"
-                    ) from exc
-            elif param.required:
-                raise ConfigurationError(
-                    f"workload {self.name!r} in spec {spec!r}: missing required "
-                    f"parameter {param.name!r}"
-                )
-            else:
-                coerced[param.name] = param.default
-        return coerced
+        return coerce_params(self.name, self.params, raw, spec, role="workload")
 
 
 # ---------------------------------------------------------------------------------
@@ -475,34 +413,7 @@ def split_spec(spec: str) -> Tuple[str, Dict[str, str]]:
     non-empty, and empty items are rejected.  A value can never contain ``,``
     — an item without ``=`` is diagnosed as a likely embedded comma.
     """
-    name, _, params_text = spec.partition(":")
-    name = name.strip().lower()
-    if not name:
-        raise ConfigurationError(f"workload spec {spec!r} has an empty workload name")
-    params: Dict[str, str] = {}
-    if not params_text.strip():
-        return name, params
-    for item in params_text.split(","):
-        item = item.strip()
-        if not item:
-            raise ConfigurationError(
-                f"workload spec {spec!r} contains an empty parameter item "
-                "(stray or trailing ',')"
-            )
-        key, sep, value = item.partition("=")
-        key = key.strip()
-        if not sep or not key:
-            raise ConfigurationError(
-                f"workload spec {spec!r}: malformed parameter {item!r} — expected "
-                "key=value; note that values cannot contain ',' (the parameter "
-                "separator is not escapable)"
-            )
-        if key in params:
-            raise ConfigurationError(
-                f"workload spec {spec!r}: duplicate parameter {key!r}"
-            )
-        params[key] = value.strip()
-    return name, params
+    return _split_spec_generic(spec, role="workload")
 
 
 def get_workload(name: str, spec: Optional[str] = None) -> WorkloadDef:
@@ -591,19 +502,7 @@ def with_spec_params(spec: str, **overrides) -> str:
     rejected — the separator is not escapable, so such a value could never
     round-trip through :func:`parse_workload`.
     """
-    name, params = split_spec(spec)
-    for key, value in overrides.items():
-        text = str(value)
-        if "," in text:
-            raise ConfigurationError(
-                f"cannot set {key}={text!r} on spec {spec!r}: values cannot "
-                "contain ',' (the parameter separator is not escapable)"
-            )
-        params[key] = text
-    if not params:
-        return name
-    joined = ",".join(f"{k}={v}" for k, v in params.items())
-    return f"{name}:{joined}"
+    return _with_params_generic(spec, role="workload", **overrides)
 
 
 # ---------------------------------------------------------------------------------

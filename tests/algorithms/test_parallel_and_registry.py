@@ -86,12 +86,19 @@ class TestRegistry:
         names = available_algorithms()
         for expected in ("aggressive", "conservative", "combination", "demand"):
             assert expected in names
+        # The non-instantiable "delay:<d>" pseudo-entry is gone; the family
+        # is listed under its real name with a parameter schema.
+        assert "delay:<d>" not in names
+        assert "delay" in names
 
     def test_make_algorithm(self):
         assert isinstance(make_algorithm("aggressive"), Aggressive)
-        delay = make_algorithm("delay:5")
+        delay = make_algorithm("delay:d=5")
         assert isinstance(delay, Delay)
         assert delay.d == 5
+        # The pre-grammar positional form stays a documented alias.
+        legacy = make_algorithm("delay:5")
+        assert isinstance(legacy, Delay) and legacy.d == 5
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -104,7 +111,13 @@ class TestRegistry:
             make_algorithm("delay:x")
 
     def test_registration(self):
-        from repro.algorithms import register_algorithm
+        from repro.algorithms import ALGORITHM_REGISTRY, register_algorithm
 
         register_algorithm("custom-aggressive", Aggressive)
-        assert isinstance(make_algorithm("custom-aggressive"), Aggressive)
+        try:
+            assert isinstance(make_algorithm("custom-aggressive"), Aggressive)
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_algorithm("custom-aggressive", Aggressive)
+            register_algorithm("custom-aggressive", Aggressive, replace=True)
+        finally:
+            del ALGORITHM_REGISTRY["custom-aggressive"]

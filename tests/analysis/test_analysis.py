@@ -93,7 +93,7 @@ class TestRatios:
 
 
 class TestSweep:
-    def test_run_sweep_collects_reports(self):
+    def test_run_sweep_collects_records(self):
         points = [
             SweepPoint(label="paper", instance=single_disk_example()),
             SweepPoint(
@@ -104,12 +104,15 @@ class TestSweep:
             ),
         ]
         result = run_sweep(points, lambda: [Aggressive(), DemandFetch()])
-        assert result.labels() == ["paper", "precomputed"]
+        assert result.points() == ["paper", "paper", "precomputed", "precomputed"]
         ratios = result.ratios_for("aggressive")
         assert ratios["paper"] == pytest.approx(13 / 11)
         assert result.max_ratio_for("aggressive") >= 1.0
         rows = result.as_rows()
         assert len(rows) == 4  # 2 points x 2 algorithms
+        # Every record carries the per-point optimum alongside the metrics.
+        assert {row["optimal_elapsed"] for row in rows} == {11}
+        assert {r.algorithm for r in result.for_algorithm("aggressive")} == {"aggressive"}
 
 
 class TestReporting:

@@ -81,6 +81,16 @@ class TestSpec:
         with pytest.raises(ConfigurationError, match="unknown layout"):
             _small_spec(layouts=("raid5",))
 
+    def test_bad_algorithm_spec_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            _small_spec(algorithms=("nope",))
+
+    def test_bad_nested_component_spec_rejected_at_construction(self):
+        # combination's delay/alt values are specs themselves; a bad one must
+        # fail here, not inside a worker once that branch gets selected.
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            _small_spec(algorithms=("combination:alt=bogus",))
+
     def test_instance_kind_workload_in_grid(self):
         spec = _small_spec(workloads=("thm2:phases=2",), cache_sizes=(13,),
                           fetch_times=(4,), algorithms=("aggressive",), seeds=(None,))
@@ -95,7 +105,7 @@ class TestRun:
         serial = run_experiments(spec, workers=0)
         fanned = run_experiments(spec, workers=2)
         assert serial.to_json() == fanned.to_json()
-        assert len(serial.rows) == 8
+        assert len(serial.records) == 8
 
     def test_rows_carry_metrics(self):
         run = run_experiments(_small_spec(cache_sizes=(4,), seeds=(0,)))
@@ -117,7 +127,7 @@ class TestRun:
         first = run_experiments(spec, cache_dir=tmp_path)
         assert first.cached_points == 0
         second = run_experiments(spec, cache_dir=tmp_path)
-        assert second.cached_points == len(second.rows) == 2
+        assert second.cached_points == len(second.records) == 2
         assert second.to_json() == first.to_json()
 
     def test_caching_round_trip_with_layouts(self, tmp_path):
@@ -127,7 +137,7 @@ class TestRun:
         )
         first = run_experiments(spec, cache_dir=tmp_path)
         second = run_experiments(spec, cache_dir=tmp_path)
-        assert second.cached_points == len(second.rows) == 2
+        assert second.cached_points == len(second.records) == 2
         assert second.to_json() == first.to_json()
 
     def test_json_and_csv_files(self, tmp_path):

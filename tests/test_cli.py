@@ -144,6 +144,48 @@ class TestCommands:
         assert code == 0
         assert "locality" in out and "default" in out
 
+    def test_algorithms_command_lists_catalog(self, capsys):
+        code = main(["algorithms"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("aggressive", "conservative", "delay", "demand", "combination"):
+            assert name in out
+        assert "legacy alias" in out
+
+    def test_algorithms_command_single_entry(self, capsys):
+        code = main(["algorithms", "demand"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "evict" in out and "lru" in out
+
+    def test_compare_accepts_parametrised_specs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "-w", "zipf:n=30,blocks=8,seed=2",
+                "-k", "5", "-F", "3",
+                "-a", "aggressive;delay:d=2;demand:evict=lru",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delay(2)" in out and "demand[LRU]" in out
+
+    def test_sweep_accepts_parametrised_specs(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "-w", "zipf:n=30,blocks=8",
+                "-k", "4", "-F", "3",
+                "-a", "delay:d=3;demand:evict=fifo",
+                "--seeds", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 points" in out
+        assert "delay(3)" in out and "demand[FIFO]" in out
+
     def test_simulate_with_layout(self, capsys):
         code = main(
             [
@@ -183,6 +225,9 @@ class TestCommands:
             ["compare", "-w", "zipf:n=abc"],
             ["sweep", "-w", "zipf:seed=None"],
             ["sweep", "-w", "zipf:n=30,blocks=8", "--layouts", "raid5"],
+            ["simulate", "-w", "zipf:n=30", "-a", "delay"],
+            ["compare", "-w", "zipf:n=30", "-a", "aggressive;demand:evict=rand"],
+            ["sweep", "-w", "zipf:n=30", "-a", "aggressive:tb=low"],
         ],
     )
     def test_bad_specs_exit_cleanly(self, capsys, command):
