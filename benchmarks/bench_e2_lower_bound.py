@@ -1,7 +1,10 @@
 """E2 — Theorem 2: the adversarial family forces Aggressive close to the bound.
 
-Builds the phase construction for several (k, F) pairs, measures Aggressive's
-elapsed time and ratio against the optimum, and compares with the per-phase
+Builds the phase construction for several (k, F) pairs and runs it through
+the batched runner's optimum pipeline (``evaluate_instances`` with
+``compute_optimum=True``): each instance's exact LP optimum is solved once
+by the optimum service and every record carries the measured ratio and the
+solve wall time.  The measured ratios are compared with the per-phase
 accounting (k + l + F vs k + l + 2) and the asymptotic Theorem 2 value.
 Expected shape: the measured ratio grows with the number of phases towards
 the predicted per-phase ratio, which approaches the Theorem 2 bound.
@@ -10,7 +13,6 @@ the predicted per-phase ratio, which approaches the Theorem 2 bound.
 from __future__ import annotations
 
 from repro.analysis import evaluate_instances, format_table
-from repro.lp import optimal_single_disk
 from repro.workloads import theorem2_sequence
 
 from conftest import emit
@@ -27,25 +29,27 @@ def test_e2_lower_bound_construction(benchmark):
     labeled = [(f"k={k} F={f}", c.instance) for (k, f), c in constructions.items()]
 
     def run():
-        elapsed = evaluate_instances(labeled, ["aggressive"]).metric("elapsed_time")
-        return {key: elapsed[f"k={key[0]} F={key[1]} alg=aggressive"] for key in constructions}
+        return evaluate_instances(labeled, ["aggressive"], compute_optimum=True)
 
-    measured = benchmark(run)
+    results = benchmark(run)
 
     rows = []
     for (k, fetch_time), construction in constructions.items():
-        optimum = optimal_single_disk(construction.instance).elapsed_time
-        ratio = measured[(k, fetch_time)] / optimum
+        record = next(
+            r for r in results if r.point == f"k={k} F={fetch_time} alg=aggressive"
+        )
+        ratio = record.elapsed_ratio
         rows.append(
             {
                 "k": k,
                 "F": fetch_time,
                 "phases": construction.num_phases,
-                "aggressive": measured[(k, fetch_time)],
-                "optimal": optimum,
+                "aggressive": record.metrics.elapsed_time,
+                "optimal": record.optimal_elapsed,
                 "measured_ratio": round(ratio, 4),
                 "per_phase_prediction": round(construction.predicted_ratio, 4),
                 "thm2_asymptotic": round(construction.asymptotic_ratio, 4),
+                "lp_seconds": round(record.optimum_solve_seconds, 3),
             }
         )
         # The measured ratio must exceed 1 (the construction hurts Aggressive)

@@ -10,7 +10,13 @@ ratio harness or an in-process sweep.
 from .compare import ScheduleDiff, diff_schedules, summarize_result
 from .optimal import BruteForceResult, brute_force_optimal_stall
 from .ratios import AlgorithmMeasurement, RatioReport, measure_parallel_stall, measure_ratios
-from .reporting import format_comparison, format_report, format_result_set, format_table
+from .reporting import (
+    format_comparison,
+    format_ratio_table,
+    format_report,
+    format_result_set,
+    format_table,
+)
 from .results import RUN_RECORD_COLUMNS, ResultSet, RunRecord, safe_ratio
 from .runner import (
     ExperimentPoint,
@@ -43,6 +49,7 @@ __all__ = [
     "measure_parallel_stall",
     "measure_ratios",
     "format_comparison",
+    "format_ratio_table",
     "format_report",
     "format_result_set",
     "format_table",

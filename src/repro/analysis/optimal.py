@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from .._typing import INFINITY, BlockId
 from ..disksim.instance import ProblemInstance
 from ..errors import ConfigurationError
+from ..lp.canonical import normalize_instance
 
 __all__ = ["BruteForceResult", "brute_force_optimal_stall"]
 
@@ -55,7 +56,16 @@ class BruteForceResult:
 def brute_force_optimal_stall(
     instance: ProblemInstance, *, max_states: int = _MAX_STATES
 ) -> BruteForceResult:
-    """Exact optimal stall time of ``instance`` over all schedules with ``k`` slots."""
+    """Exact optimal stall time of ``instance`` over all schedules with ``k`` slots.
+
+    The instance is first routed through the shared canonical normalization
+    (:func:`repro.lp.canonical.normalize_instance`) — the same helper the
+    optimum service fingerprints with — so the oracle and the LP pipeline
+    agree on instance identity and optimum-equivalent instances (differing
+    only in never-requested warm block names) cannot produce mismatched
+    cached optima.
+    """
+    instance = normalize_instance(instance)
     sequence = instance.sequence
     n = instance.num_requests
     fetch_time = instance.fetch_time

@@ -1,14 +1,23 @@
 """Measured approximation ratios of prefetching algorithms against the optimum.
 
 The Section 2 experiments all reduce to the same measurement: run one or more
-algorithms over an instance, compute the optimal elapsed (or stall) time with
-the LP machinery, and report the ratios next to the theoretical bounds.  This
-module provides that measurement on top of the unified run-record model:
-each algorithm run yields a full :class:`~repro.analysis.results.RunRecord`
-(instance identity, metrics, optimum, ratios), and the
-:class:`RatioReport` wraps the records of one instance together with the
-compact per-algorithm :class:`AlgorithmMeasurement` rows and the theoretical
-bounds the reporting layer tabulates.
+algorithms over an instance, compute the optimal elapsed (or stall) time, and
+report the ratios next to the theoretical bounds.  This module provides that
+measurement on top of the unified run-record model: each algorithm run yields
+a full :class:`~repro.analysis.results.RunRecord` (instance identity,
+metrics, optimum, ratios), and the :class:`RatioReport` wraps the records of
+one instance together with the compact per-algorithm
+:class:`AlgorithmMeasurement` rows and the theoretical bounds the reporting
+layer tabulates.
+
+Optimum computation is routed through the optimum service
+(:mod:`repro.lp.service`) rather than bespoke LP calls: instances are
+canonically normalized and fingerprinted, optima are cached (shareable with
+the batched runner's disk cache), and every record carries the solve wall
+time.  For grid-shaped ratio experiments prefer
+``ExperimentSpec(compute_optimum=True)`` on the batched runner — it
+deduplicates and fans out the solves; this module remains the per-instance
+measurement (``repro compare``, ``run_sweep``) emitting the same model.
 """
 
 from __future__ import annotations
@@ -21,8 +30,7 @@ from ..core.bounds import SingleDiskBounds
 from ..disksim.executor import SimulationResult, simulate
 from ..disksim.instance import ProblemInstance
 from ..errors import ConfigurationError
-from ..lp.parallel import optimal_parallel_schedule
-from ..lp.single_disk import optimal_single_disk
+from ..lp.service import OptimumService, SolverConfig
 from .results import ResultSet, RunRecord
 
 __all__ = ["AlgorithmMeasurement", "RatioReport", "measure_ratios", "measure_parallel_stall"]
@@ -162,6 +170,7 @@ def _run_records(
     optimal_elapsed: int,
     optimal_stall: int,
     point: Optional[str] = None,
+    solve_seconds: Optional[float] = None,
 ) -> Tuple[RunRecord, ...]:
     """Simulate every algorithm and record it against the given optimum."""
     label = point if point is not None else instance.describe()
@@ -175,6 +184,7 @@ def _run_records(
                 algorithm_spec=algorithm.spec or result.policy_name,
                 optimal_stall=optimal_stall,
                 optimal_elapsed=optimal_elapsed,
+                optimum_solve_seconds=solve_seconds,
             )
         )
     return tuple(records)
@@ -187,24 +197,32 @@ def measure_ratios(
     optimal_elapsed: Optional[int] = None,
     optimal_stall: Optional[int] = None,
     point: Optional[str] = None,
+    service: Optional[OptimumService] = None,
 ) -> RatioReport:
     """Run ``algorithms`` on a single-disk ``instance`` and compare to the optimum.
 
-    The optimum is computed with the LP machinery unless both reference values
-    are supplied (the adversarial experiments pass the analytically known
-    optimum to avoid re-solving the LP on large constructions).
+    The optimum is computed through the optimum service
+    (:class:`~repro.lp.service.OptimumService` — canonical fingerprint,
+    cached, normalized instance) unless both reference values are supplied
+    (the adversarial experiments pass the analytically known optimum to
+    avoid re-solving the LP on large constructions).  Passing a shared
+    ``service`` lets callers reuse cached optima across measurements.
     """
     if instance.num_disks != 1:
         raise ConfigurationError("measure_ratios handles single-disk instances; use "
                                  "measure_parallel_stall for D > 1")
+    solve_seconds: Optional[float] = None
     if optimal_elapsed is None or optimal_stall is None:
-        optimum = optimal_single_disk(instance)
-        optimal_elapsed = optimum.elapsed_time
-        optimal_stall = optimum.stall_time
+        service = service or OptimumService()
+        record = service.optimum(instance)
+        optimal_elapsed = record.elapsed_time
+        optimal_stall = record.stall_time
+        solve_seconds = record.solve_seconds
 
     records = _run_records(
         instance, algorithms,
         optimal_elapsed=optimal_elapsed, optimal_stall=optimal_stall, point=point,
+        solve_seconds=solve_seconds,
     )
     return RatioReport(
         instance_description=instance.describe(),
@@ -222,20 +240,34 @@ def measure_parallel_stall(
     *,
     method: str = "auto",
     point: Optional[str] = None,
+    service: Optional[OptimumService] = None,
 ) -> RatioReport:
     """Run ``algorithms`` on a parallel-disk instance and compare stall times
-    against the Theorem 4 schedule (which is itself at most the optimum)."""
-    optimum = optimal_parallel_schedule(instance, method=method)
+    against the Theorem 4 schedule (which is itself at most the optimum).
+
+    The Theorem 4 solve is routed through the optimum service as well, so a
+    shared ``service`` (or a warmed disk cache) deduplicates it with the
+    batched runner's optima.
+    """
+    if service is None:
+        service = OptimumService(config=SolverConfig(method=method))
+    elif service.config.method != method:
+        raise ConfigurationError(
+            f"measure_parallel_stall called with method={method!r} but the "
+            f"shared service is configured with {service.config.method!r}"
+        )
+    record = service.optimum(instance)
     records = _run_records(
         instance, algorithms,
-        optimal_elapsed=optimum.elapsed_time,
-        optimal_stall=max(optimum.stall_time, 0),
+        optimal_elapsed=record.elapsed_time,
+        optimal_stall=max(record.stall_time, 0),
         point=point,
+        solve_seconds=record.solve_seconds,
     )
     return RatioReport(
         instance_description=instance.describe(),
-        optimal_stall=optimum.stall_time,
-        optimal_elapsed=optimum.elapsed_time,
+        optimal_stall=record.stall_time,
+        optimal_elapsed=record.elapsed_time,
         measurements=tuple(AlgorithmMeasurement.from_record(r) for r in records),
         bounds=None,
         records=records,

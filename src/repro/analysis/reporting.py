@@ -11,12 +11,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_report", "format_result_set", "format_comparison"]
+__all__ = [
+    "format_table",
+    "format_report",
+    "format_result_set",
+    "format_ratio_table",
+    "format_comparison",
+]
 
 #: Default columns for sweep-style tables (the CLI's ``repro sweep`` view).
 SWEEP_COLUMNS: Sequence[str] = (
     "workload", "cache_size", "fetch_time", "disks", "layout", "algorithm",
     "stall_time", "elapsed_time", "num_fetches", "hit_rate",
+)
+
+#: Default columns for ratio tables (the CLI's ``repro ratios`` view):
+#: measured values next to the certified optimum, the derived ratios and the
+#: optimum's solve wall time.
+RATIO_COLUMNS: Sequence[str] = (
+    "workload", "cache_size", "fetch_time", "disks", "algorithm",
+    "stall_time", "elapsed_time", "optimal_stall", "optimal_elapsed",
+    "stall_ratio", "elapsed_ratio", "optimum_solve_seconds",
 )
 
 
@@ -89,6 +104,37 @@ def format_result_set(
         results.as_rows(selected), columns=selected, title=title,
         float_precision=float_precision,
     )
+
+
+def format_ratio_table(results, *, title: Optional[str] = None) -> str:
+    """Render an optimum-carrying :class:`ResultSet` as the ratio view.
+
+    The per-record table (:data:`RATIO_COLUMNS`) is followed by a summary
+    block with every algorithm's worst elapsed-time ratio over the set —
+    the quantity the paper's theorems bound.
+    """
+    lines = [format_result_set(results, columns=RATIO_COLUMNS, title=title)]
+    algorithms: List[str] = []
+    for record in results:
+        if record.algorithm_spec not in algorithms:
+            algorithms.append(record.algorithm_spec)
+    summary_rows = []
+    for algorithm in algorithms:
+        ratios = results.ratios_for(algorithm)
+        if not ratios:
+            continue
+        summary_rows.append(
+            {
+                "algorithm": algorithm,
+                "points": len(ratios),
+                "max_elapsed_ratio": round(max(ratios.values()), 4),
+                "mean_elapsed_ratio": round(sum(ratios.values()) / len(ratios), 4),
+            }
+        )
+    if summary_rows:
+        lines.append("")
+        lines.append(format_table(summary_rows, title="worst/mean ratio per algorithm"))
+    return "\n".join(lines)
 
 
 def format_comparison(

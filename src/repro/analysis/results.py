@@ -81,6 +81,7 @@ RUN_RECORD_COLUMNS: Tuple[str, ...] = (
     "optimal_elapsed",
     "stall_ratio",
     "elapsed_ratio",
+    "optimum_solve_seconds",
 )
 
 
@@ -100,6 +101,16 @@ class RunRecord:
     engine: str = "indexed"
     optimal_stall: Optional[int] = None
     optimal_elapsed: Optional[int] = None
+    #: Wall-clock seconds the optimum attached to this record cost to solve
+    #: (0.0 when it came from a cache hit *within the same solve*; cached
+    #: records keep the original solve's cost).  None without an optimum.
+    optimum_solve_seconds: Optional[float] = None
+    #: Canonical :meth:`~repro.lp.service.SolverConfig.key` of the
+    #: configuration that produced the attached optimum.  The runner only
+    #: trusts a cached record's optimum when this matches the current run's
+    #: configuration; otherwise the optimum is re-attached through the
+    #: (config-keyed) optimum cache.
+    optimum_solver_key: Optional[str] = None
 
     @classmethod
     def from_simulation(
@@ -113,6 +124,7 @@ class RunRecord:
         engine: str = "indexed",
         optimal_stall: Optional[int] = None,
         optimal_elapsed: Optional[int] = None,
+        optimum_solve_seconds: Optional[float] = None,
     ) -> "RunRecord":
         """Build a record from a :class:`~repro.disksim.executor.SimulationResult`.
 
@@ -134,6 +146,7 @@ class RunRecord:
             engine=engine,
             optimal_stall=optimal_stall,
             optimal_elapsed=optimal_elapsed,
+            optimum_solve_seconds=optimum_solve_seconds,
         )
 
     # -- derived quantities ----------------------------------------------------------
@@ -184,6 +197,11 @@ class RunRecord:
             "optimal_elapsed": self.optimal_elapsed,
             "stall_ratio": _row_ratio(self.stall_ratio),
             "elapsed_ratio": _row_ratio(self.elapsed_ratio),
+            "optimum_solve_seconds": (
+                None
+                if self.optimum_solve_seconds is None
+                else round(self.optimum_solve_seconds, 6)
+            ),
         }
 
     def to_json_dict(self) -> Dict[str, object]:
@@ -201,6 +219,8 @@ class RunRecord:
             "metrics": self.metrics.as_dict(),
             "optimal_stall": self.optimal_stall,
             "optimal_elapsed": self.optimal_elapsed,
+            "optimum_solve_seconds": self.optimum_solve_seconds,
+            "optimum_solver_key": self.optimum_solver_key,
         }
 
     @classmethod
@@ -219,6 +239,30 @@ class RunRecord:
             metrics=SimMetrics.from_dict(payload["metrics"]),
             optimal_stall=payload.get("optimal_stall"),
             optimal_elapsed=payload.get("optimal_elapsed"),
+            optimum_solve_seconds=payload.get("optimum_solve_seconds"),
+            optimum_solver_key=payload.get("optimum_solver_key"),
+        )
+
+    def with_optimum(
+        self,
+        *,
+        optimal_stall: int,
+        optimal_elapsed: int,
+        solve_seconds: Optional[float] = None,
+        solver_key: Optional[str] = None,
+    ) -> "RunRecord":
+        """Copy with the optimum (its solve cost and provenance) attached.
+
+        Used by the runner to upgrade simulation records with the optimum
+        service's results — including records that were cached before an
+        optimum was ever requested for their instance.
+        """
+        return replace(
+            self,
+            optimal_stall=optimal_stall,
+            optimal_elapsed=optimal_elapsed,
+            optimum_solve_seconds=solve_seconds,
+            optimum_solver_key=solver_key,
         )
 
     def with_identity(

@@ -23,15 +23,21 @@ executed:
   time, layout, warm set), the algorithm spec and the engine.  Re-running a
   sweep after editing an unrelated grid axis only simulates the new points.
 
+* **Optimum pipeline** — ``ExperimentSpec(compute_optimum=True)`` routes
+  every point's instance through the optimum service
+  (:mod:`repro.lp.service`): solves are deduplicated per instance (one LP
+  for all algorithms sharing it), fanned out *alongside* the algorithm
+  simulations on the same process pool, cached on disk under
+  ``<cache_dir>/optima`` keyed by the canonical instance fingerprint, and
+  attached to every record (``optimal_stall``/``optimal_elapsed`` plus the
+  solve wall time).  Cached simulation records that predate the optimum are
+  upgraded in place; re-running a warmed grid performs no LP solve at all.
+
 * **Uniform emission** — every point evaluates to one typed
   :class:`~repro.analysis.results.RunRecord`; the run returns them as a
   :class:`~repro.analysis.results.ResultSet` with uniform row/JSON/CSV
   emission and column selection, the same model the ratio harness and the
   legacy sweep produce.
-
-Simulation-only measurements (stall/elapsed/fetches) scale to millions of
-requests; LP-backed ratio measurement stays in
-:mod:`repro.analysis.ratios`, which shares the :class:`RunRecord` model.
 """
 
 from __future__ import annotations
@@ -41,12 +47,14 @@ import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import canonicalize_algorithm_spec, make_algorithm
 from ..disksim.executor import simulate
 from ..disksim.instance import ProblemInstance
 from ..errors import ConfigurationError
+from ..lp.canonical import instance_fingerprint as _canonical_fingerprint
+from ..lp.service import OptimumRecord, OptimumService, SolverConfig
 from ..workloads.spec import (
     build_workload_instance,
     get_layout_builder,
@@ -84,6 +92,12 @@ class ExperimentSpec:
     placements from :data:`repro.workloads.spec.LAYOUT_BUILDERS`; at
     ``disks == 1`` placement is irrelevant, so only the first layout is
     emitted there (no duplicate points).
+
+    ``compute_optimum=True`` additionally solves every point's instance
+    optimum through the optimum service (one deduplicated solve per
+    instance, method ``optimum_method`` for multi-disk instances) and
+    attaches ``optimal_stall``/``optimal_elapsed``/solve wall time to every
+    record, turning the grid into a ratio experiment.
     """
 
     name: str
@@ -95,8 +109,11 @@ class ExperimentSpec:
     seeds: Tuple[Optional[int], ...] = (None,)
     layouts: Tuple[str, ...] = ("striped",)
     engine: str = "indexed"
+    compute_optimum: bool = False
+    optimum_method: str = "auto"
 
     def __post_init__(self):
+        SolverConfig(method=self.optimum_method)  # validate eagerly
         for axis in (
             "workloads", "cache_sizes", "fetch_times", "algorithms",
             "disks", "seeds", "layouts",
@@ -206,54 +223,47 @@ class ExperimentPoint:
 def instance_fingerprint(instance: ProblemInstance) -> str:
     """SHA-256 fingerprint of the instance *content*.
 
-    Covers the request sequence, cache size, fetch time, disk layout and
-    warm set — everything that determines simulation output — so equal
-    instances produced by different code paths share cache entries.
+    Delegates to the canonical helper of :mod:`repro.lp.canonical` (shared
+    with the optimum service and the brute-force oracle), so equal — or
+    optimum-equivalent, e.g. differing only in the names of never-requested
+    warm blocks — instances produced by different code paths share cache
+    entries.
     """
-    hasher = hashlib.sha256()
-    hasher.update(f"k={instance.cache_size};F={instance.fetch_time};".encode())
-    hasher.update(
-        ";".join(sorted(repr(b) for b in instance.initial_cache)).encode()
-    )
-    hasher.update(b"|seq|")
-    for block in instance.sequence.requests:
-        hasher.update(repr(block).encode())
-        hasher.update(b"\x00")
-    hasher.update(b"|layout|")
-    hasher.update(str(instance.num_disks).encode())
-    # Disk placement of every requested block, in sorted order.
-    placement = ";".join(
-        f"{b!r}->{instance.disk_of(b)}"
-        for b in sorted(instance.requested_blocks, key=repr)
-    )
-    hasher.update(placement.encode())
-    return hasher.hexdigest()
+    return _canonical_fingerprint(instance)
 
 
-def _point_cache_key(point: ExperimentPoint) -> str:
-    """Cache key of a point.
+def _instance_identity(point: ExperimentPoint) -> str:
+    """The *instance* identity of a point (algorithm and engine stripped).
 
     Spec-described points are keyed by their grid coordinates — the spec
     string regenerates the instance deterministically, and hashing the
     coordinates avoids building every instance serially in the parent just
     to compute keys.  Prebuilt-instance points (already materialised, so
-    fingerprinting costs no extra build) are keyed by content, letting
-    equal instances share entries across labels.  The algorithm identity is
-    the *canonical* spec, so ``delay:3`` and ``delay:d=3`` share entries.
+    fingerprinting costs no extra build) are keyed by canonical content,
+    letting equal instances share entries across labels.  Shared by the
+    result-cache key and the optimum-solve deduplication, so the two can
+    never drift apart.
     """
     if point.workload is not None:
         # Layout only shapes the instance when there is more than one disk;
         # leaving it out of the D=1 identity lets those entries be shared.
         placement = f";layout={point.layout}" if point.disks > 1 else ""
-        identity = (
+        return (
             f"spec={point.workload};k={point.cache_size};F={point.fetch_time};"
             f"D={point.disks}{placement}"
         )
-    else:
-        identity = instance_fingerprint(point.build_instance())
+    return "content=" + _canonical_fingerprint(point.build_instance())
+
+
+def _point_cache_key(point: ExperimentPoint) -> str:
+    """Cache key of a point: instance identity x canonical algorithm x engine.
+
+    The algorithm identity is the *canonical* spec, so ``delay:3`` and
+    ``delay:d=3`` share entries.
+    """
     algorithm = canonicalize_algorithm_spec(point.algorithm)
     return hashlib.sha256(
-        f"{identity};alg={algorithm};engine={point.engine}".encode()
+        f"{_instance_identity(point)};alg={algorithm};engine={point.engine}".encode()
     ).hexdigest()
 
 
@@ -274,6 +284,19 @@ def _evaluate_point(point: ExperimentPoint) -> RunRecord:
         layout=point.recorded_layout(),
         engine=point.engine,
     )
+
+
+def _compute_point_optimum(task: Tuple[ExperimentPoint, SolverConfig, Optional[str]]) -> OptimumRecord:
+    """Worker entry: compute (or fetch from the shared disk cache) one optimum.
+
+    Runs in the same process pool as :func:`_evaluate_point`, so optimum
+    solves proceed alongside algorithm simulations.  The worker-local
+    :class:`OptimumService` consults the shared disk cache first — a warmed
+    cache makes this a fingerprint lookup, never an LP solve.
+    """
+    point, config, optimum_cache_dir = task
+    service = OptimumService(optimum_cache_dir, config)
+    return service.optimum(point.build_instance())
 
 
 class _ResultCache:
@@ -314,14 +337,35 @@ def _execute_points(
     *,
     workers: int = 0,
     cache_dir=None,
+    optimum: Optional[OptimumService] = None,
 ) -> Tuple[List[RunRecord], int]:
-    """Evaluate ``points`` (cached, then serial or fanned out) in grid order."""
+    """Evaluate ``points`` (cached, then serial or fanned out) in grid order.
+
+    With an :class:`OptimumService`, optimum solves are deduplicated per
+    instance identity and dispatched alongside the pending simulations;
+    their results are attached to every record of that instance — including
+    cached records that predate the optimum, which are upgraded in the
+    result cache.  A cached record's optimum is trusted only when its
+    recorded solver key matches this run's configuration; records solved
+    under a different configuration are re-attached through the
+    (config-keyed) optimum cache.
+    """
     cache = _ResultCache(cache_dir) if cache_dir is not None else None
     records: List[Optional[RunRecord]] = [None] * len(points)
+    keys: List[Optional[str]] = [None] * len(points)
     pending: List[Tuple[int, ExperimentPoint, Optional[str]]] = []
+    needs_optimum: Dict[str, List[int]] = {}
+    representative: Dict[str, ExperimentPoint] = {}
     cached_points = 0
+
+    def request_optimum(position: int, point: ExperimentPoint) -> None:
+        identity = _instance_identity(point)
+        needs_optimum.setdefault(identity, []).append(position)
+        representative.setdefault(identity, point)
+
     for position, point in enumerate(points):
         key = _point_cache_key(point) if cache is not None else None
+        keys[position] = key
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
@@ -336,21 +380,84 @@ def _execute_points(
                     layout=point.recorded_layout(),
                 )
                 cached_points += 1
+                if optimum is not None and (
+                    hit.optimal_elapsed is None
+                    or hit.optimum_solver_key != optimum.config.key()
+                ):
+                    request_optimum(position, point)
                 continue
         pending.append((position, point, key))
+        if optimum is not None:
+            request_optimum(position, point)
 
-    if pending:
+    identities = list(needs_optimum)
+    optimum_cache_dir = (
+        None
+        if optimum is None or optimum.cache_dir is None
+        else str(optimum.cache_dir)
+    )
+    solved: List[OptimumRecord] = []
+    if pending or identities:
         if workers and workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(_evaluate_point, [p for _, p, _ in pending]))
+                # Both maps enqueue immediately, so optimum solves run
+                # alongside the algorithm simulations on the same pool.
+                fresh_iter = pool.map(_evaluate_point, [p for _, p, _ in pending])
+                opt_iter = pool.map(
+                    _compute_point_optimum,
+                    [
+                        (representative[identity], optimum.config, optimum_cache_dir)
+                        for identity in identities
+                    ],
+                ) if identities else iter(())
+                fresh = list(fresh_iter)
+                solved = list(opt_iter)
         else:
             fresh = [_evaluate_point(p) for _, p, _ in pending]
+            solved = [
+                optimum.optimum(representative[identity].build_instance())
+                for identity in identities
+            ]
         for (position, _point, key), record in zip(pending, fresh):
             records[position] = record
-            if cache is not None and key is not None:
-                cache.put(key, record)
+
+    if optimum is not None:
+        for identity, optimum_record in zip(identities, solved):
+            optimum.store(optimum_record)
+            for position in needs_optimum[identity]:
+                records[position] = records[position].with_optimum(
+                    optimal_stall=max(optimum_record.stall_time, 0),
+                    optimal_elapsed=optimum_record.elapsed_time,
+                    solve_seconds=optimum_record.solve_seconds,
+                    solver_key=optimum.config.key(),
+                )
+
+    if cache is not None:
+        written = set()
+        for position, _point, key in pending:
+            cache.put(key, records[position])
+            written.add(position)
+        if optimum is not None:
+            # Upgrade previously cached records that gained an optimum now.
+            for positions in needs_optimum.values():
+                for position in positions:
+                    if position not in written and keys[position] is not None:
+                        cache.put(keys[position], records[position])
 
     return [record for record in records if record is not None], cached_points
+
+
+def _make_optimum_service(
+    enabled: bool,
+    cache_dir,
+    method: str,
+    config: Optional[SolverConfig],
+) -> Optional[OptimumService]:
+    """The optimum service of a run (disk cache under ``<cache_dir>/optima``)."""
+    if not enabled:
+        return None
+    optimum_dir = None if cache_dir is None else Path(cache_dir) / "optima"
+    return OptimumService(optimum_dir, config or SolverConfig(method=method))
 
 
 def run_experiments(
@@ -358,15 +465,22 @@ def run_experiments(
     *,
     workers: int = 0,
     cache_dir=None,
+    optimum_config: Optional[SolverConfig] = None,
 ) -> ResultSet:
     """Run the full grid of ``spec`` and return its ordered :class:`ResultSet`.
 
     ``workers > 1`` fans the uncached points out over that many processes;
     output order (and therefore the JSON/CSV documents) is identical to the
-    serial run.  ``cache_dir`` enables the per-point result cache.
+    serial run.  ``cache_dir`` enables the per-point result cache (and the
+    optimum cache under ``<cache_dir>/optima`` when the spec computes
+    optima).  ``optimum_config`` overrides the solver configuration derived
+    from ``spec.optimum_method``.
     """
+    optimum = _make_optimum_service(
+        spec.compute_optimum, cache_dir, spec.optimum_method, optimum_config
+    )
     records, cached_points = _execute_points(
-        spec.points(), workers=workers, cache_dir=cache_dir
+        spec.points(), workers=workers, cache_dir=cache_dir, optimum=optimum
     )
     return ResultSet(
         name=spec.name,
@@ -383,13 +497,18 @@ def evaluate_instances(
     workers: int = 0,
     engine: str = "indexed",
     cache_dir=None,
+    compute_optimum: bool = False,
+    optimum_method: str = "auto",
+    optimum_config: Optional[SolverConfig] = None,
 ) -> ResultSet:
     """Evaluate algorithm specs over prebuilt instances (benchmark entry point).
 
     The benchmark scripts construct instances programmatically (adversarial
     families, paper examples) that have no workload-spec form; this runs the
     same batched machinery over ``(label, instance)`` pairs.  Instances are
-    pickled to the workers when ``workers > 1``.
+    pickled to the workers when ``workers > 1``.  ``compute_optimum=True``
+    attaches every instance's optimum (one deduplicated solve per instance,
+    shared by all algorithms) exactly as in :func:`run_experiments`.
     """
     points = [
         ExperimentPoint(
@@ -404,7 +523,12 @@ def evaluate_instances(
         for label, instance in labeled_instances
         for algorithm in algorithms
     ]
-    records, cached_points = _execute_points(points, workers=workers, cache_dir=cache_dir)
+    optimum = _make_optimum_service(
+        compute_optimum, cache_dir, optimum_method, optimum_config
+    )
+    records, cached_points = _execute_points(
+        points, workers=workers, cache_dir=cache_dir, optimum=optimum
+    )
     return ResultSet(
         name="ad-hoc",
         records=tuple(records),

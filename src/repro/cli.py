@@ -8,6 +8,11 @@ Commands
                 measured ratios against the LP optimum.
 ``sweep``     — run an algorithm x parameter grid through the batched
                 experiment runner (multi-process, cached, JSON/CSV output).
+``ratios``    — run a workload x algorithm grid with optimum computation:
+                every record carries the certified optimum, the
+                approximation ratios and the solve wall time; optima are
+                solved once per instance, fanned out alongside the
+                simulations and cached under ``<cache-dir>/optima``.
 ``workloads`` — print the typed workload catalog: every registered spec name,
                 its parameter schema and an example spec, plus the layouts.
 ``algorithms``— print the typed algorithm catalog: every registered algorithm,
@@ -38,7 +43,12 @@ from typing import List, Optional, Sequence
 
 from .algorithms import format_algorithm_catalog, make_algorithm
 from .analysis.ratios import measure_parallel_stall, measure_ratios
-from .analysis.reporting import format_report, format_result_set, format_table
+from .analysis.reporting import (
+    format_ratio_table,
+    format_report,
+    format_result_set,
+    format_table,
+)
 from .analysis.runner import ExperimentSpec, run_experiments
 from .core.bounds import SingleDiskBounds
 from .disksim.executor import simulate
@@ -113,40 +123,54 @@ def build_parser() -> argparse.ArgumentParser:
         "(see 'repro algorithms' for the catalog)",
     )
 
+    def add_grid_options(p: argparse.ArgumentParser, *, name_default: str) -> None:
+        p.add_argument(
+            "--workloads", "-w", default="zipf:n=200,blocks=50",
+            help="comma-free list of workload specs separated by ';', "
+            "e.g. 'zipf:n=200,blocks=50;loop:blocks=30,loops=10'",
+        )
+        p.add_argument("--cache-sizes", "-k", default="16",
+                       help="comma-separated cache sizes")
+        p.add_argument("--fetch-times", "-F", default="8",
+                       help="comma-separated fetch times")
+        p.add_argument("--disks", "-D", default="1", help="comma-separated disk counts")
+        p.add_argument(
+            "--layouts", default="striped",
+            help="comma-separated block placements swept when a disk count > 1 "
+            f"(available: {', '.join(sorted(LAYOUT_BUILDERS))})",
+        )
+        p.add_argument(
+            "--algorithms", "-a", default="aggressive,conservative,combination,demand",
+            help="algorithm specs separated by ';' (or ',' when none is parametrised), "
+            "e.g. 'aggressive;delay:d=3;demand:evict=lru'",
+        )
+        p.add_argument("--seeds", default="",
+                       help="comma-separated seeds substituted into the workload specs")
+        p.add_argument("--workers", type=int, default=0,
+                       help="process-pool size (0/1 = run in-process)")
+        p.add_argument("--cache-dir", default=None,
+                       help="directory for the per-point result cache")
+        p.add_argument("--json", dest="json_path", default=None,
+                       help="write results as deterministic JSON to this path")
+        p.add_argument("--csv", dest="csv_path", default=None,
+                       help="write results as CSV to this path")
+        p.add_argument("--name", default=name_default, help="experiment name")
+
     p_sweep = sub.add_parser(
         "sweep", help="run an algorithm x parameter grid via the experiment runner"
     )
-    p_sweep.add_argument(
-        "--workloads", "-w", default="zipf:n=200,blocks=50",
-        help="comma-free list of workload specs separated by ';', "
-        "e.g. 'zipf:n=200,blocks=50;loop:blocks=30,loops=10'",
+    add_grid_options(p_sweep, name_default="cli-sweep")
+
+    p_ratios = sub.add_parser(
+        "ratios",
+        help="run a workload x algorithm grid with cached optimum computation "
+        "and print the approximation-ratio table",
     )
-    p_sweep.add_argument("--cache-sizes", "-k", default="16",
-                         help="comma-separated cache sizes")
-    p_sweep.add_argument("--fetch-times", "-F", default="8",
-                         help="comma-separated fetch times")
-    p_sweep.add_argument("--disks", "-D", default="1", help="comma-separated disk counts")
-    p_sweep.add_argument(
-        "--layouts", default="striped",
-        help="comma-separated block placements swept when a disk count > 1 "
-        f"(available: {', '.join(sorted(LAYOUT_BUILDERS))})",
+    add_grid_options(p_ratios, name_default="cli-ratios")
+    p_ratios.add_argument(
+        "--method", default="auto", choices=["auto", "milp", "lp-rounding"],
+        help="optimum method for multi-disk instances (single-disk is always exact)",
     )
-    p_sweep.add_argument(
-        "--algorithms", "-a", default="aggressive,conservative,combination,demand",
-        help="algorithm specs separated by ';' (or ',' when none is parametrised), "
-        "e.g. 'aggressive;delay:d=3;demand:evict=lru'",
-    )
-    p_sweep.add_argument("--seeds", default="",
-                         help="comma-separated seeds substituted into the workload specs")
-    p_sweep.add_argument("--workers", type=int, default=0,
-                         help="process-pool size (0/1 = run in-process)")
-    p_sweep.add_argument("--cache-dir", default=None,
-                         help="directory for the per-point result cache")
-    p_sweep.add_argument("--json", dest="json_path", default=None,
-                         help="write results as deterministic JSON to this path")
-    p_sweep.add_argument("--csv", dest="csv_path", default=None,
-                         help="write results as CSV to this path")
-    p_sweep.add_argument("--name", default="cli-sweep", help="experiment name")
 
     p_wl = sub.add_parser(
         "workloads", help="list the workload catalog and parameter schemas"
@@ -207,9 +231,10 @@ def _parse_int_list(text: str) -> List[int]:
     return [int(v) for v in text.split(",") if v.strip()]
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _grid_spec(args: argparse.Namespace, **extra) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` described by the shared grid options."""
     seeds = tuple(_parse_int_list(args.seeds)) or (None,)
-    spec = ExperimentSpec(
+    return ExperimentSpec(
         name=args.name,
         workloads=tuple(w.strip() for w in args.workloads.split(";") if w.strip()),
         cache_sizes=tuple(_parse_int_list(args.cache_sizes)),
@@ -218,19 +243,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         layouts=tuple(l.strip() for l in args.layouts.split(",") if l.strip()),
         algorithms=tuple(_split_specs(args.algorithms)),
         seeds=seeds,
+        **extra,
     )
-    run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
-    print(
-        f"sweep {run.name!r}: {len(run.records)} points "
-        f"({run.cached_points} cached, workers={args.workers})"
-    )
-    print(format_result_set(run))
+
+
+def _write_outputs(run, args: argparse.Namespace) -> None:
     if args.json_path:
         run.write_json(args.json_path)
         print(f"wrote JSON to {args.json_path}")
     if args.csv_path:
         run.write_csv(args.csv_path)
         print(f"wrote CSV to {args.csv_path}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _grid_spec(args)
+    run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"sweep {run.name!r}: {len(run.records)} points "
+        f"({run.cached_points} cached, workers={args.workers})"
+    )
+    print(format_result_set(run))
+    _write_outputs(run, args)
+    return 0
+
+
+def _cmd_ratios(args: argparse.Namespace) -> int:
+    spec = _grid_spec(args, compute_optimum=True, optimum_method=args.method)
+    run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"ratios {run.name!r}: {len(run.records)} points "
+        f"({run.cached_points} cached, workers={args.workers})"
+    )
+    print(format_ratio_table(run))
+    _write_outputs(run, args)
     return 0
 
 
@@ -285,6 +331,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "ratios": _cmd_ratios,
         "workloads": _cmd_workloads,
         "algorithms": _cmd_algorithms,
         "lowerbound": _cmd_lowerbound,

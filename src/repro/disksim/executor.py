@@ -55,7 +55,7 @@ assume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Protocol, Tuple, runtime_checkable
 
 from .._typing import BlockId, DiskId
@@ -316,6 +316,14 @@ class SimulationResult:
     def elapsed_time(self) -> int:
         """Total elapsed time (requests + stall) of the run."""
         return self.metrics.elapsed_time
+
+    def with_solve_seconds(self, seconds: float) -> "SimulationResult":
+        """Copy with solver wall time recorded on the metrics.
+
+        Used by the LP drivers to stamp the model-build + solve + extraction
+        cost onto the execution that certifies their schedule.
+        """
+        return replace(self, metrics=replace(self.metrics, solve_seconds=seconds))
 
 
 # ---------------------------------------------------------------------------------

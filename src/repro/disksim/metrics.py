@@ -31,6 +31,11 @@ class SimMetrics:
     cache_misses: int = 0
     peak_cache_used: int = 0
     fetches_per_disk: Mapping[DiskId, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent *computing* this run's schedule.  Plain
+    #: policy simulations leave it at 0.0; the LP/optimum drivers record the
+    #: model-build + solve + extraction time here so solver cost is a
+    #: first-class metric next to the stall/elapsed results it certifies.
+    solve_seconds: float = 0.0
 
     def __post_init__(self):
         object.__setattr__(self, "fetches_per_disk", dict(self.fetches_per_disk))
@@ -80,6 +85,7 @@ class SimMetrics:
             "hit_rate": round(self.hit_rate, 4),
             "peak_cache_used": self.peak_cache_used,
             "fetches_per_disk": dict(self.fetches_per_disk),
+            "solve_seconds": self.solve_seconds,
         }
 
     @classmethod
@@ -101,4 +107,5 @@ class SimMetrics:
                 int(disk): int(count)
                 for disk, count in dict(payload.get("fetches_per_disk", {})).items()
             },
+            solve_seconds=float(payload.get("solve_seconds", 0.0)),
         )

@@ -1,29 +1,52 @@
 """Linear-programming machinery for optimal prefetching/caching schedules.
 
-The Section 3 synchronized LP (:mod:`repro.lp.model`), its LP/MILP solvers
-(:mod:`repro.lp.solver`), the paper's time-slicing rounding
-(:mod:`repro.lp.rounding`), and the two user-facing drivers:
-:func:`optimal_single_disk` (exact single-disk optimum, the denominator of
-every Section 2 approximation ratio) and :func:`optimal_parallel_schedule`
-(the Theorem 4 algorithm).
+The Section 3 synchronized LP (:mod:`repro.lp.model` — variables
+``x(I)``/``f(I,a)``/``e(I,a)`` over fetch intervals, objective
+``sum_I x(I)(F - |I|)``), its LP/MILP solvers (:mod:`repro.lp.solver`), the
+paper's time-slicing rounding (:mod:`repro.lp.rounding`), the two
+user-facing drivers — :func:`optimal_single_disk` (exact single-disk
+optimum, the denominator of every Section 2 approximation ratio) and
+:func:`optimal_parallel_schedule` (the Theorem 4 algorithm) — and the
+optimum service (:mod:`repro.lp.service`): canonical instance
+fingerprinting (:mod:`repro.lp.canonical`) plus a disk-backed,
+parallel-safe cache that makes optimum computation a batched pipeline
+stage instead of a per-call expense.
 """
 
-from .intervals import Interval, enumerate_intervals
-from .model import DUMMY_PREFIX, PADDING_PREFIX, LPSolution, SynchronizedLPModel
+from .canonical import canonical_payload, instance_fingerprint, normalize_instance
+from .intervals import Interval, IntervalStructure, enumerate_intervals, interval_structure
+from .model import (
+    AGGREGATE_BLOCK,
+    DUMMY_PREFIX,
+    PADDING_PREFIX,
+    LPSolution,
+    SynchronizedLPModel,
+)
 from .normalize import normalize_integral_solution
 from .parallel import ParallelOptimum, optimal_parallel_schedule
 from .rounding import RoundedSolution, candidate_offsets, round_solution
+from .service import OptimumRecord, OptimumService, SolverConfig, compute_optimum_record
 from .single_disk import SingleDiskOptimum, optimal_single_disk, optimal_single_disk_elapsed
 from .solver import solve_integral, solve_relaxation
 from .validation import ValidationReport, solution_vector, validate_solution
 
 __all__ = [
+    "canonical_payload",
+    "instance_fingerprint",
+    "normalize_instance",
     "Interval",
+    "IntervalStructure",
+    "interval_structure",
     "enumerate_intervals",
+    "AGGREGATE_BLOCK",
     "DUMMY_PREFIX",
     "PADDING_PREFIX",
     "LPSolution",
     "SynchronizedLPModel",
+    "OptimumRecord",
+    "OptimumService",
+    "SolverConfig",
+    "compute_optimum_record",
     "normalize_integral_solution",
     "ParallelOptimum",
     "optimal_parallel_schedule",

@@ -6,16 +6,32 @@ served and completes before ``r_j`` is served.  Its *length* ``|I| = j-i-1``
 is the number of requests that overlap the fetch, so ``F - |I|`` units of
 stall are charged at its end; intervals longer than ``F`` are never useful
 and are not enumerated.
+
+The interval set — and the derived containment/coverage indices the LP
+builder queries — depends only on ``(n, F)``, not on the blocks or the
+layout.  :func:`interval_structure` therefore memoises one
+:class:`IntervalStructure` per ``(n, F)`` pair, so solving several
+algorithms' instances of the same shape (the common case in a ratio sweep:
+one optimum per instance, many instances of identical length) reuses the
+enumeration and the window index instead of rebuilding them per model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
 
 from ..errors import ConfigurationError
 
-__all__ = ["Interval", "enumerate_intervals", "intervals_within", "intervals_covering_slot"]
+__all__ = [
+    "Interval",
+    "IntervalStructure",
+    "interval_structure",
+    "enumerate_intervals",
+    "intervals_within",
+    "intervals_covering_slot",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -58,26 +74,71 @@ class Interval:
         return f"I({self.start},{self.end})"
 
 
+class IntervalStructure:
+    """The shared per-``(n, F)`` interval enumeration and its derived indices.
+
+    Instances are produced (and memoised) by :func:`interval_structure`.
+    ``intervals`` is an immutable tuple in the canonical enumeration order;
+    :meth:`window` and :meth:`covering` answer the two queries the LP
+    builder makes — intervals contained in an epoch window, intervals
+    overlapping a request slot — with per-structure memoisation, so the
+    work is shared by every model built over the same sequence length and
+    fetch time (warm-start reuse across algorithms and instances).
+    """
+
+    def __init__(self, num_requests: int, fetch_time: int):
+        if num_requests < 1:
+            raise ConfigurationError("num_requests must be positive")
+        if fetch_time < 1:
+            raise ConfigurationError("fetch_time must be positive")
+        self.num_requests = num_requests
+        self.fetch_time = fetch_time
+        intervals: List[Interval] = []
+        for start in range(num_requests):
+            last_end = min(num_requests, start + fetch_time + 1)
+            for end in range(start + 1, last_end + 1):
+                if end > num_requests:
+                    break
+                intervals.append(Interval(start, end))
+        self.intervals: Tuple[Interval, ...] = tuple(intervals)
+        self._windows: Dict[Tuple[int, int], Tuple[Interval, ...]] = {}
+        self._covering: Dict[int, Tuple[Interval, ...]] = {}
+
+    def window(self, lo: int, hi: int) -> Tuple[Interval, ...]:
+        """Intervals fully contained in the window ``(lo, hi)`` (memoised)."""
+        key = (lo, hi)
+        cached = self._windows.get(key)
+        if cached is None:
+            cached = tuple(i for i in self.intervals if i.contained_in(lo, hi))
+            self._windows[key] = cached
+        return cached
+
+    def covering(self, request_index: int) -> Tuple[Interval, ...]:
+        """Intervals overlapping 1-based request ``request_index`` (memoised)."""
+        cached = self._covering.get(request_index)
+        if cached is None:
+            cached = tuple(i for i in self.intervals if i.covers_slot(request_index))
+            self._covering[request_index] = cached
+        return cached
+
+
+@lru_cache(maxsize=64)
+def interval_structure(num_requests: int, fetch_time: int) -> IntervalStructure:
+    """The memoised :class:`IntervalStructure` for ``(num_requests, fetch_time)``."""
+    return IntervalStructure(num_requests, fetch_time)
+
+
 def enumerate_intervals(num_requests: int, fetch_time: int) -> List[Interval]:
     """All candidate fetch intervals for a sequence of ``num_requests`` requests.
 
     ``i`` ranges over ``0 .. n-1`` and ``j`` over ``i+1 .. min(n, i+F+1)``:
     intervals longer than ``F`` incur no stall but waste no less disk time, so
     restricting to ``|I| <= F`` loses no optimal solution (exactly the
-    restriction used in the paper and in Albers–Garg–Leonardi).
+    restriction used in the paper and in Albers–Garg–Leonardi).  Backed by
+    the memoised :func:`interval_structure`; the returned list is a fresh
+    copy the caller may mutate.
     """
-    if num_requests < 1:
-        raise ConfigurationError("num_requests must be positive")
-    if fetch_time < 1:
-        raise ConfigurationError("fetch_time must be positive")
-    intervals: List[Interval] = []
-    for start in range(num_requests):
-        last_end = min(num_requests, start + fetch_time + 1)
-        for end in range(start + 1, last_end + 1):
-            if end > num_requests:
-                break
-            intervals.append(Interval(start, end))
-    return intervals
+    return list(interval_structure(num_requests, fetch_time).intervals)
 
 
 def intervals_within(intervals: List[Interval], lo: int, hi: int) -> Iterator[Interval]:

@@ -32,6 +32,26 @@ plus the prefix before the first and the suffix after the last reference).
 Constraint 5 then holds by construction and the model size drops from
 ``O(n^2 F)`` per block to ``O(n F)`` summed over all blocks.
 
+Dominance-pruned reduced model (single disk)
+--------------------------------------------
+With ``aggregate_never_requested=True`` (single-disk models only) the
+per-block eviction variables of the never-requested resident blocks — the
+user's unreferenced warm blocks plus every synthesised dummy, typically
+``k`` blocks on a cold instance — are replaced by a single aggregate
+variable ``e(I, __nragg)`` per interval with one budget constraint
+``sum_I e(I, __nragg) <= #never-requested``.  The pruning is a dominance
+argument: never-requested resident blocks are pairwise interchangeable
+(each is fetched never and evicted at most once, so any one of them
+dominates any other as an eviction victim), and on a single disk each
+interval performs at most one fetch — hence at most one eviction — so the
+aggregate variable stays within the ``[0, 1]`` bounds shared by all
+variables.  Solutions map both ways without changing the objective;
+:meth:`SynchronizedLPModel.solution_from_vector` decomposes integral
+aggregate evictions back into concrete block names so schedule extraction
+and execution are unchanged.  The model drops from
+``O(k·nF)`` eviction variables to ``O(nF)`` on cold instances, which is
+the bulk of the single-disk LP.
+
 Deviations from the paper (documented substitutions)
 ----------------------------------------------------
 * The paper assumes the cache initially holds ``k + D - 1`` blocks that are
@@ -65,14 +85,23 @@ from .._typing import BlockId
 from ..disksim.instance import ProblemInstance
 from ..disksim.schedule import IntervalFetch, IntervalSchedule
 from ..errors import ConfigurationError, SolverError
-from .intervals import Interval, enumerate_intervals
+from .intervals import Interval, interval_structure
 
-__all__ = ["LPSolution", "SynchronizedLPModel", "DUMMY_PREFIX", "PADDING_PREFIX"]
+__all__ = [
+    "LPSolution",
+    "SynchronizedLPModel",
+    "DUMMY_PREFIX",
+    "PADDING_PREFIX",
+    "AGGREGATE_BLOCK",
+]
 
 #: Prefix of synthesised never-requested blocks that fill the initial cache.
 DUMMY_PREFIX = "__initdummy"
 #: Prefix of synthesised per-disk padding blocks (strict mode only).
 PADDING_PREFIX = "__pad"
+#: Sentinel block standing for *any* never-requested resident block in the
+#: dominance-pruned reduced model (``aggregate_never_requested=True``).
+AGGREGATE_BLOCK = "__nragg"
 
 
 @dataclass(frozen=True)
@@ -104,6 +133,7 @@ class SynchronizedLPModel:
         *,
         extra_cache: Optional[int] = None,
         require_all_disks: bool = False,
+        aggregate_never_requested: bool = False,
     ):
         self.instance = instance
         self.num_disks = instance.num_disks
@@ -111,9 +141,17 @@ class SynchronizedLPModel:
             extra_cache = self.num_disks - 1
         if extra_cache < 0:
             raise ConfigurationError("extra_cache must be non-negative")
+        if aggregate_never_requested and self.num_disks != 1:
+            # The [0, 1] bound on the aggregate variable relies on "at most
+            # one fetch (hence eviction) per interval", which only holds on a
+            # single disk (see the module docstring).
+            raise ConfigurationError(
+                "aggregate_never_requested is a single-disk reduction (D == 1)"
+            )
         self.extra_cache = extra_cache
         self.capacity = instance.cache_size + extra_cache
         self.require_all_disks = require_all_disks
+        self.aggregate_never_requested = aggregate_never_requested
         self.fetch_time = instance.fetch_time
         self.num_requests = instance.num_requests
 
@@ -126,8 +164,11 @@ class SynchronizedLPModel:
         sequence = instance.sequence
         n = self.num_requests
 
-        self.intervals: List[Interval] = enumerate_intervals(n, self.fetch_time)
-        self._intervals_by_window: Dict[Tuple[int, int], List[Interval]] = {}
+        # The enumeration and its window/coverage indices depend only on
+        # (n, F); the memoised structure is shared across every model of the
+        # same shape (warm-start reuse across algorithms and instances).
+        self._structure = interval_structure(n, self.fetch_time)
+        self.intervals: List[Interval] = list(self._structure.intervals)
 
         # --- block bookkeeping -----------------------------------------------------
         requested = sorted(sequence.distinct_blocks, key=str)
@@ -205,13 +246,19 @@ class SynchronizedLPModel:
                     add_e(interval, block)
 
         # Never-requested initial blocks (user supplied or dummies): evictable
-        # at most once, anywhere.
+        # at most once, anywhere.  They are pairwise interchangeable, so the
+        # reduced model replaces their per-block eviction variables with one
+        # aggregate variable per interval (see the module docstring).
         self.never_requested_initial: List[BlockId] = sorted(
             (b for b in initially_resident if not sequence.contains_block(b)), key=str
         ) + list(self.dummy_blocks)
-        for block in self.never_requested_initial:
+        if self.aggregate_never_requested and self.never_requested_initial:
             for interval in self.intervals:
-                add_e(interval, block)
+                add_e(interval, AGGREGATE_BLOCK)
+        else:
+            for block in self.never_requested_initial:
+                for interval in self.intervals:
+                    add_e(interval, block)
 
         # Padding blocks: fetch and evict variables everywhere (strict mode).
         for block in self.padding_blocks.values():
@@ -237,8 +284,7 @@ class SynchronizedLPModel:
         for slot in range(1, n):
             cols = [
                 self._x_index[interval]
-                for interval in self.intervals
-                if interval.covers_slot(slot)
+                for interval in self._structure.covering(slot)
             ]
             if cols:
                 ub_rows.append((cols, [1.0] * len(cols), 1.0))
@@ -323,14 +369,25 @@ class SynchronizedLPModel:
                 ub_rows.append((last_e, [1.0] * len(last_e), 1.0))
 
         # 6. never-requested initial blocks: evicted at most once overall.
-        for block in self.never_requested_initial:
+        # Reduced model: one budget row for the aggregate variable instead of
+        # one row (and one variable set) per interchangeable block.
+        if self.aggregate_never_requested and self.never_requested_initial:
             cols = [
-                self._e_index[(interval, block)]
+                self._e_index[(interval, AGGREGATE_BLOCK)]
                 for interval in self.intervals
-                if (interval, block) in self._e_index
             ]
-            if cols:
-                ub_rows.append((cols, [1.0] * len(cols), 1.0))
+            ub_rows.append(
+                (cols, [1.0] * len(cols), float(len(self.never_requested_initial)))
+            )
+        else:
+            for block in self.never_requested_initial:
+                cols = [
+                    self._e_index[(interval, block)]
+                    for interval in self.intervals
+                    if (interval, block) in self._e_index
+                ]
+                if cols:
+                    ub_rows.append((cols, [1.0] * len(cols), 1.0))
 
         # Padding blocks: fetch amount == evict amount in every interval.
         for block in self.padding_blocks.values():
@@ -346,14 +403,9 @@ class SynchronizedLPModel:
         self._A_eq, self._b_eq = self._assemble(eq_rows)
         self._A_ub, self._b_ub = self._assemble(ub_rows)
 
-    def _window(self, lo: int, hi: int) -> List[Interval]:
-        """Intervals contained in the window ``(lo, hi)`` (cached)."""
-        key = (lo, hi)
-        cached = self._intervals_by_window.get(key)
-        if cached is None:
-            cached = [i for i in self.intervals if i.contained_in(lo, hi)]
-            self._intervals_by_window[key] = cached
-        return cached
+    def _window(self, lo: int, hi: int) -> Tuple[Interval, ...]:
+        """Intervals contained in the window ``(lo, hi)`` (shared memo)."""
+        return self._structure.window(lo, hi)
 
     def _epoch_cols(
         self, index: Dict[Tuple[Interval, BlockId], int], block: BlockId, lo: int, hi: int
@@ -410,7 +462,16 @@ class SynchronizedLPModel:
     # -- solution handling -------------------------------------------------------------
 
     def solution_from_vector(self, vector: np.ndarray, *, tol: float = 1e-6) -> LPSolution:
-        """Package a raw solver vector into an :class:`LPSolution`."""
+        """Package a raw solver vector into an :class:`LPSolution`.
+
+        In the reduced model, integral evictions of the aggregate
+        never-requested block are decomposed back into concrete block names
+        (walking the selected intervals in canonical order and handing each
+        one the next unused never-requested block), so downstream schedule
+        extraction sees an ordinary full-model solution.  Fractional
+        aggregate mass is left on the sentinel — such solutions are only
+        ever read for their objective value.
+        """
         x = {
             interval: float(vector[idx])
             for interval, idx in self._x_index.items()
@@ -422,6 +483,8 @@ class SynchronizedLPModel:
         evictions = {
             key: float(vector[idx]) for key, idx in self._e_index.items() if vector[idx] > tol
         }
+        if self.aggregate_never_requested:
+            evictions = self._decompose_aggregate_evictions(evictions)
         integral = all(
             abs(v - round(v)) <= 1e-6
             for v in list(x.values()) + list(fetches.values()) + list(evictions.values())
@@ -430,6 +493,33 @@ class SynchronizedLPModel:
         return LPSolution(
             objective=objective, x=x, fetches=fetches, evictions=evictions, is_integral=integral
         )
+
+    def _decompose_aggregate_evictions(
+        self, evictions: Dict[Tuple[Interval, BlockId], float], *, tol: float = 1e-6
+    ) -> Dict[Tuple[Interval, BlockId], float]:
+        """Map integral aggregate evictions onto concrete never-requested blocks.
+
+        The aggregate's budget constraint guarantees at most
+        ``len(never_requested_initial)`` units of integral mass, so the
+        deterministic interval-ordered assignment always has a fresh block
+        available.  Fractional entries stay on :data:`AGGREGATE_BLOCK`.
+        """
+        available = list(self.never_requested_initial)
+        out: Dict[Tuple[Interval, BlockId], float] = {}
+        aggregate = sorted(
+            (key for key in evictions if key[1] == AGGREGATE_BLOCK),
+            key=lambda key: key[0],
+        )
+        for key, value in evictions.items():
+            if key[1] != AGGREGATE_BLOCK:
+                out[key] = value
+        for interval, _sentinel in aggregate:
+            value = evictions[(interval, AGGREGATE_BLOCK)]
+            if abs(value - 1.0) <= tol and available:
+                out[(interval, available.pop(0))] = 1.0
+            else:
+                out[(interval, AGGREGATE_BLOCK)] = value
+        return out
 
     def extract_schedule(self, solution: LPSolution, *, threshold: float = 0.5) -> IntervalSchedule:
         """Convert an integral solution into an executable :class:`IntervalSchedule`.

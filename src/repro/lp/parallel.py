@@ -19,6 +19,7 @@ paper's Theorem 4.  The pipeline is:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Literal, Optional
 
@@ -99,6 +100,7 @@ def optimal_parallel_schedule(
         extra_cache = num_disks - 1
     allowed_capacity = instance.cache_size + extra_cache + (num_disks - 1)
 
+    started = time.perf_counter()
     model = SynchronizedLPModel(
         instance,
         extra_cache=extra_cache,
@@ -120,7 +122,9 @@ def optimal_parallel_schedule(
                     instance=instance,
                     schedule=rounded.schedule,
                     solution=relaxation,
-                    execution=execution,
+                    execution=execution.with_solve_seconds(
+                        time.perf_counter() - started
+                    ),
                     lp_lower_bound=lower_bound,
                     method_used="lp-rounding",
                     allowed_capacity=allowed_capacity,
@@ -150,6 +154,7 @@ def optimal_parallel_schedule(
             method_used = "milp"
 
     schedule = model.extract_schedule(solution)
+    solve_seconds = time.perf_counter() - started
     execution = execute_interval_schedule(
         model.augmented_instance, schedule, capacity_override=allowed_capacity
     )
@@ -157,7 +162,7 @@ def optimal_parallel_schedule(
         instance=instance,
         schedule=schedule,
         solution=solution,
-        execution=execution,
+        execution=execution.with_solve_seconds(solve_seconds),
         lp_lower_bound=lower_bound,
         method_used=method_used,
         allowed_capacity=allowed_capacity,

@@ -1,0 +1,261 @@
+"""The optimum service: cached, batched, parallel-safe LP/optimum computation.
+
+The paper's headline numbers (Theorems 1–4) are competitive ratios against
+the optimum certified by the Section 3 LP — exact on a single disk
+(:mod:`repro.lp.single_disk`), the Theorem 4 schedule on parallel disks
+(:mod:`repro.lp.parallel`) — which makes the optimum solve the most
+expensive stage of every ratio experiment.  This module turns it into an
+infrastructure service instead of an ad-hoc call:
+
+* **Canonical identity** — every instance is normalized and fingerprinted
+  through :mod:`repro.lp.canonical` (SHA-256 over the normalized instance
+  plus the solver configuration), so equivalent instances produced by any
+  code path share one optimum.
+* **Two-level cache** — an in-memory map per service plus an optional
+  disk cache (one JSON file per fingerprint, written atomically via
+  ``os.replace``), shared safely between serial runs and
+  ``ProcessPoolExecutor`` workers: concurrent writers of the same
+  fingerprint write identical bytes, and a torn read is treated as a miss
+  and re-solved.
+* **One solver policy** — :class:`SolverConfig` pins the method
+  (``auto | milp | lp-rounding``), the extra-cache allowance, the MILP time
+  limit and whether the dominance-pruned single-disk model is used, and is
+  part of the fingerprint, so records solved under different policies can
+  never be confused.
+* **Accounted cost** — every :class:`OptimumRecord` carries the solve
+  wall-clock seconds (as measured by the LP drivers and recorded on
+  ``SimMetrics.solve_seconds``), making solver cost a first-class metric of
+  the experiment pipeline.
+
+The experiment runner (:mod:`repro.analysis.runner`) fans
+:func:`compute_optimum_record` out alongside algorithm simulations and
+attaches the results to its :class:`~repro.analysis.results.RunRecord` s;
+the ratio harness (:mod:`repro.analysis.ratios`) routes its per-instance
+optima through the same service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from ..disksim.instance import ProblemInstance
+from ..errors import ConfigurationError
+from .canonical import instance_fingerprint, normalize_instance
+from .parallel import optimal_parallel_schedule
+from .single_disk import optimal_single_disk
+
+__all__ = ["SolverConfig", "OptimumRecord", "OptimumService", "compute_optimum_record"]
+
+_METHODS = ("auto", "milp", "lp-rounding")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Everything that can change what an optimum solve returns.
+
+    The canonical :meth:`key` participates in the instance fingerprint, so
+    optima solved under different configurations never share cache entries.
+    ``method``/``extra_cache``/``time_limit`` are forwarded to
+    :func:`repro.lp.parallel.optimal_parallel_schedule` (single-disk solves
+    are always exact); ``reduced_single_disk`` selects the dominance-pruned
+    single-disk model of :mod:`repro.lp.model`, which is property-tested to
+    produce the same optimum as the full model.
+    """
+
+    method: str = "auto"
+    extra_cache: Optional[int] = None
+    time_limit: Optional[float] = None
+    reduced_single_disk: bool = True
+
+    def __post_init__(self):
+        if self.method not in _METHODS:
+            raise ConfigurationError(
+                f"unknown optimum method {self.method!r}; available: {', '.join(_METHODS)}"
+            )
+
+    def key(self) -> str:
+        """Canonical string form hashed into every optimum fingerprint."""
+        extra = "default" if self.extra_cache is None else str(self.extra_cache)
+        limit = "none" if self.time_limit is None else repr(float(self.time_limit))
+        return (
+            f"method={self.method};extra_cache={extra};time_limit={limit};"
+            f"reduced={int(self.reduced_single_disk)}"
+        )
+
+
+@dataclass(frozen=True)
+class OptimumRecord:
+    """One certified optimum: the values, their provenance and their cost."""
+
+    fingerprint: str
+    stall_time: int
+    elapsed_time: int
+    lp_lower_bound: float
+    method_used: str
+    solve_seconds: float
+    extra_cache_used: int = 0
+    num_requests: int = 0
+    solver_key: str = ""
+
+    def as_json_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding (see :meth:`from_json_dict`)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "stall_time": self.stall_time,
+            "elapsed_time": self.elapsed_time,
+            "lp_lower_bound": self.lp_lower_bound,
+            "method_used": self.method_used,
+            "solve_seconds": self.solve_seconds,
+            "extra_cache_used": self.extra_cache_used,
+            "num_requests": self.num_requests,
+            "solver_key": self.solver_key,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "OptimumRecord":
+        """Rebuild a record from :meth:`as_json_dict` output."""
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            stall_time=int(payload["stall_time"]),
+            elapsed_time=int(payload["elapsed_time"]),
+            lp_lower_bound=float(payload["lp_lower_bound"]),
+            method_used=str(payload["method_used"]),
+            solve_seconds=float(payload["solve_seconds"]),
+            extra_cache_used=int(payload.get("extra_cache_used", 0)),
+            num_requests=int(payload.get("num_requests", 0)),
+            solver_key=str(payload.get("solver_key", "")),
+        )
+
+
+def compute_optimum_record(instance: ProblemInstance, config: SolverConfig) -> OptimumRecord:
+    """Solve ``instance``'s optimum under ``config`` (no caching).
+
+    Module-level on purpose: it is the single chokepoint every LP solve of
+    the service goes through, so tests can monkeypatch it to count solves —
+    or to fail loudly when a code path that must be a pure cache hit would
+    re-solve.  Single-disk instances get the exact optimum
+    (:func:`optimal_single_disk`, reduced model per the config); multi-disk
+    instances get the Theorem 4 schedule
+    (:func:`optimal_parallel_schedule`), whose stall is at most
+    ``s_OPT(sigma, k)``.
+    """
+    normalized = normalize_instance(instance)
+    if normalized.num_disks == 1:
+        optimum = optimal_single_disk(
+            normalized,
+            time_limit=config.time_limit,
+            reduced=config.reduced_single_disk,
+        )
+        method_used = "single-disk-exact"
+        extra_cache_used = 0
+    else:
+        optimum = optimal_parallel_schedule(
+            normalized,
+            method=config.method,
+            extra_cache=config.extra_cache,
+            time_limit=config.time_limit,
+        )
+        method_used = optimum.method_used
+        extra_cache_used = optimum.extra_cache_used
+    return OptimumRecord(
+        fingerprint=instance_fingerprint(instance, config.key()),
+        stall_time=optimum.stall_time,
+        elapsed_time=optimum.elapsed_time,
+        lp_lower_bound=optimum.lp_lower_bound,
+        method_used=method_used,
+        solve_seconds=optimum.execution.metrics.solve_seconds,
+        extra_cache_used=extra_cache_used,
+        num_requests=instance.num_requests,
+        solver_key=config.key(),
+    )
+
+
+class OptimumService:
+    """Facade over optimum computation: fingerprint, look up, solve, store.
+
+    One service instance pins one :class:`SolverConfig`.  ``cache_dir``
+    enables the shared disk cache (one ``<fingerprint>.json`` per optimum,
+    atomic writes); without it the service still deduplicates in memory, so
+    repeated algorithms over the same instance within a process solve one
+    LP.  ``solves`` counts the LP computations actually performed by *this*
+    service object — the "re-running is a 100% cache hit" acceptance tests
+    assert it stays 0 on warmed caches.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        config: Optional[SolverConfig] = None,
+    ):
+        self.config = config or SolverConfig()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, OptimumRecord] = {}
+        self.solves = 0
+
+    # -- identity -------------------------------------------------------------------
+
+    def fingerprint(self, instance: ProblemInstance) -> str:
+        """The canonical cache key of ``instance`` under this service's config."""
+        return instance_fingerprint(instance, self.config.key())
+
+    # -- cache ----------------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def lookup(self, fingerprint: str) -> Optional[OptimumRecord]:
+        """The cached record under ``fingerprint``, or None (memory, then disk)."""
+        record = self._memory.get(fingerprint)
+        if record is not None:
+            return record
+        if self.cache_dir is None:
+            return None
+        path = self._path(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+            record = OptimumRecord.from_json_dict(payload)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Missing, torn or pre-format entries are misses, never fatal.
+            return None
+        self._memory[fingerprint] = record
+        return record
+
+    def store(self, record: OptimumRecord) -> None:
+        """Cache ``record`` in memory and (atomically) on disk.
+
+        The write goes to a process-unique temporary file first and is
+        published with ``os.replace``, so a concurrent reader sees either
+        the previous state or the complete record — never a torn file —
+        and concurrent writers of the same fingerprint are idempotent.
+        """
+        self._memory[record.fingerprint] = record
+        if self.cache_dir is None:
+            return
+        path = self._path(record.fingerprint)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(record.as_json_dict(), sort_keys=True))
+        os.replace(tmp, path)
+
+    def cached_optimum(self, instance: ProblemInstance) -> Optional[OptimumRecord]:
+        """The cached optimum of ``instance``, or None without solving."""
+        return self.lookup(self.fingerprint(instance))
+
+    # -- the one entry point ---------------------------------------------------------
+
+    def optimum(self, instance: ProblemInstance) -> OptimumRecord:
+        """The optimum of ``instance``: cache hit or solve-and-store."""
+        fingerprint = self.fingerprint(instance)
+        record = self.lookup(fingerprint)
+        if record is None:
+            record = compute_optimum_record(instance, self.config)
+            if record.fingerprint != fingerprint:  # pragma: no cover - safety net
+                record = replace(record, fingerprint=fingerprint)
+            self.solves += 1
+            self.store(record)
+        return record

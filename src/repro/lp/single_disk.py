@@ -4,13 +4,24 @@ For ``D = 1`` every schedule is trivially synchronized (a single disk never
 runs two fetches at once), so the Section 3 model with ``extra_cache = 0``
 computes the true optimum ``s_OPT(sigma, k)`` — this is the Albers–Garg–
 Leonardi result that optimal single-disk schedules can be found in polynomial
-time, realised here through the same LP as the parallel case.  The single-
-disk experiments (E1–E5) use these optima as the denominator of every
-measured approximation ratio.
+time, realised here through the same LP as the parallel case (variables
+``x(I)``/``f(I,a)``/``e(I,a)``, the Section 3 constraints, objective
+``sum_I x(I)(F - |I|)``; see :mod:`repro.lp.model`).  The single-disk
+experiments (E1–E5) use these optima as the denominator of every measured
+approximation ratio.
+
+``reduced=True`` builds the dominance-pruned single-disk model
+(``aggregate_never_requested`` — interchangeable never-requested resident
+blocks share one aggregated eviction budget), which shrinks cold-instance
+models by roughly the cache-size factor without changing the optimum; the
+equivalence is property-tested against the full model.  The wall-clock cost
+of build + solve + extraction is recorded on the returned execution's
+metrics (``SimMetrics.solve_seconds``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -51,22 +62,34 @@ class SingleDiskOptimum:
 
 
 def optimal_single_disk(
-    instance: ProblemInstance, *, time_limit: Optional[float] = None
+    instance: ProblemInstance,
+    *,
+    time_limit: Optional[float] = None,
+    reduced: bool = False,
 ) -> SingleDiskOptimum:
     """Compute an optimal single-disk schedule for ``instance``.
 
-    Raises :class:`ConfigurationError` if the instance uses more than one
-    disk; use :func:`repro.lp.parallel.optimal_parallel_schedule` for the
-    multi-disk problem.
+    ``reduced=True`` uses the dominance-pruned model (same optimum, smaller
+    LP — see the module docstring).  Raises :class:`ConfigurationError` if
+    the instance uses more than one disk; use
+    :func:`repro.lp.parallel.optimal_parallel_schedule` for the multi-disk
+    problem.
     """
     if instance.num_disks != 1:
         raise ConfigurationError(
             f"optimal_single_disk needs a single-disk instance, got D={instance.num_disks}"
         )
-    model = SynchronizedLPModel(instance, extra_cache=0, require_all_disks=False)
+    started = time.perf_counter()
+    model = SynchronizedLPModel(
+        instance,
+        extra_cache=0,
+        require_all_disks=False,
+        aggregate_never_requested=reduced,
+    )
     relaxation = solve_relaxation(model)
     solution = relaxation if relaxation.is_integral else solve_integral(model, time_limit=time_limit)
     schedule = model.extract_schedule(solution)
+    solve_seconds = time.perf_counter() - started
     execution = execute_interval_schedule(
         model.augmented_instance, schedule, capacity_override=model.capacity
     )
@@ -74,7 +97,7 @@ def optimal_single_disk(
         instance=instance,
         schedule=schedule,
         solution=solution,
-        execution=execution,
+        execution=execution.with_solve_seconds(solve_seconds),
         lp_lower_bound=relaxation.objective,
     )
 

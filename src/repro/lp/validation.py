@@ -1,10 +1,12 @@
-"""Static validation of synchronized-LP solutions.
+"""Static validation of synchronized-LP solutions (the Section 3 program).
 
 The simulator already validates *schedules* dynamically; this module checks
-*LP solutions* against the model's own constraints.  It is used by tests to
-make sure the constraint matrices encode what the docstrings claim, and by
-the rounding code to detect when a sliced solution stopped being a feasible
-0/1 point.
+*LP solutions* — assignments to the Section 3 variables ``x(I)``, ``f(I,a)``
+and ``e(I,a)`` — against the model's own constraint matrices (slot
+coverage, per-disk fetch counts, fetch/evict balance, epoch feasibility and
+the ``[0, 1]`` bounds).  It is used by tests to make sure the matrices
+encode what the docstrings claim, and by the Lemma 4 rounding code to
+detect when a time-sliced solution stopped being a feasible 0/1 point.
 """
 
 from __future__ import annotations

@@ -1,0 +1,79 @@
+"""Docstring coverage for the LP and analysis layers (pydocstyle-style, stdlib-only).
+
+The satellite contract for these packages is that every module states the
+formulation/measurement it implements and every public definition says what
+it is for.  Rather than depending on ``pydocstyle`` (not in the baked
+image), this walks the AST: each module under ``repro/lp`` and
+``repro/analysis`` must carry a module docstring, and every public class,
+function and method (name not starting with ``_``) must carry its own.
+The LP modules must additionally mention the paper (a section/theorem/lemma
+reference) in their module docstring — that is the "which LP does this file
+implement" guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+PACKAGES = ("src/repro/lp", "src/repro/analysis")
+
+#: Module docstrings of repro/lp must reference the paper explicitly.
+_PAPER_REFERENCE = re.compile(
+    r"Section\s+\d|Theorem\s+\d|Lemma\s+\d|Corollary\s+\d|Albers|Cao"
+)
+
+
+def _module_paths():
+    for package in PACKAGES:
+        for path in sorted((ROOT / package).glob("*.py")):
+            yield path
+
+
+def _public_definitions(tree: ast.Module):
+    """Yield (qualified name, node) for every public def/class, nested in classes."""
+
+    def walk(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                if name.startswith("_"):
+                    continue
+                qualified = f"{prefix}{name}"
+                yield qualified, child
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, f"{qualified}.")
+
+    yield from walk(tree, "")
+
+
+@pytest.mark.parametrize("path", _module_paths(), ids=lambda p: str(p.relative_to(ROOT)))
+def test_module_and_public_api_docstrings(path):
+    """Module + every public class/function/method carries a docstring."""
+    tree = ast.parse(path.read_text(encoding="utf8"))
+    assert ast.get_docstring(tree), f"{path} has no module docstring"
+    missing = [
+        name
+        for name, node in _public_definitions(tree)
+        if not ast.get_docstring(node)
+    ]
+    assert not missing, f"{path} public definitions without docstrings: {missing}"
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in _module_paths() if "lp" in p.parts[-2]],
+    ids=lambda p: str(p.relative_to(ROOT)),
+)
+def test_lp_modules_state_their_formulation(path):
+    """Every repro/lp module docstring anchors itself to the paper."""
+    tree = ast.parse(path.read_text(encoding="utf8"))
+    docstring = ast.get_docstring(tree) or ""
+    assert _PAPER_REFERENCE.search(docstring), (
+        f"{path}: module docstring must state which part of the paper "
+        "(Section/Theorem/Lemma) its formulation implements"
+    )
