@@ -11,8 +11,8 @@ so the registry's parametrised ``delay:d=<int>`` form reproduces both
 classical algorithms without a dedicated code path.  Complements E3 (which
 studies the Theorem 3 bound on small LP-checkable instances) with a
 simulation-only sweep two orders of magnitude larger, and doubles as a
-determinism check: the serial and multi-process runs must emit byte-identical
-JSON from the unified ResultSet.
+determinism check: the serial, thread-pool and process-pool backends must
+emit byte-identical JSON from the unified ResultSet.
 """
 
 from __future__ import annotations
@@ -58,9 +58,10 @@ def test_e12_delay_sweep_endpoints(benchmark):
 
     results = benchmark(run)
 
-    # Serial and fanned-out runs over the unified ResultSet stay
+    # Every execution backend over the unified ResultSet stays
     # byte-identical (grid-order collection, sorted-key JSON).
-    assert run_experiments(spec, workers=2).to_json() == results.to_json()
+    assert run_experiments(spec, workers=2, backend="process").to_json() == results.to_json()
+    assert run_experiments(spec, workers=4, backend="thread").to_json() == results.to_json()
 
     # Group the records per instance coordinate: every (workload, k, F)
     # point must satisfy both endpoint identities.

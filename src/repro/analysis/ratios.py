@@ -12,9 +12,12 @@ layer tabulates.
 
 Optimum computation is routed through the optimum service
 (:mod:`repro.lp.service`) rather than bespoke LP calls: instances are
-canonically normalized and fingerprinted, optima are cached (shareable with
-the batched runner's disk cache), and every record carries the solve wall
-time.  For grid-shaped ratio experiments prefer
+canonically normalized and fingerprinted, optima are cached, and every
+record carries the solve wall time.  Passing ``store=`` (a
+:class:`~repro.analysis.store.RunStore`) persists and reuses those optima
+through the same SQLite file the batched runner fills, so a ``repro
+compare`` on an instance a sweep already solved is a pure lookup.  For
+grid-shaped ratio experiments prefer
 ``ExperimentSpec(compute_optimum=True)`` on the batched runner — it
 deduplicates and fans out the solves; this module remains the per-instance
 measurement (``repro compare``, ``run_sweep``) emitting the same model.
@@ -198,6 +201,7 @@ def measure_ratios(
     optimal_stall: Optional[int] = None,
     point: Optional[str] = None,
     service: Optional[OptimumService] = None,
+    store=None,
 ) -> RatioReport:
     """Run ``algorithms`` on a single-disk ``instance`` and compare to the optimum.
 
@@ -206,14 +210,16 @@ def measure_ratios(
     cached, normalized instance) unless both reference values are supplied
     (the adversarial experiments pass the analytically known optimum to
     avoid re-solving the LP on large constructions).  Passing a shared
-    ``service`` lets callers reuse cached optima across measurements.
+    ``service`` lets callers reuse cached optima across measurements;
+    passing ``store`` (a :class:`~repro.analysis.store.RunStore`) backs the
+    default service with the durable store the batched runner shares.
     """
     if instance.num_disks != 1:
         raise ConfigurationError("measure_ratios handles single-disk instances; use "
                                  "measure_parallel_stall for D > 1")
     solve_seconds: Optional[float] = None
     if optimal_elapsed is None or optimal_stall is None:
-        service = service or OptimumService()
+        service = service or OptimumService(store=store)
         record = service.optimum(instance)
         optimal_elapsed = record.elapsed_time
         optimal_stall = record.stall_time
@@ -241,16 +247,18 @@ def measure_parallel_stall(
     method: str = "auto",
     point: Optional[str] = None,
     service: Optional[OptimumService] = None,
+    store=None,
 ) -> RatioReport:
     """Run ``algorithms`` on a parallel-disk instance and compare stall times
     against the Theorem 4 schedule (which is itself at most the optimum).
 
     The Theorem 4 solve is routed through the optimum service as well, so a
-    shared ``service`` (or a warmed disk cache) deduplicates it with the
+    shared ``service`` — or a ``store`` (the batched runner's SQLite
+    :class:`~repro.analysis.store.RunStore`) — deduplicates it with the
     batched runner's optima.
     """
     if service is None:
-        service = OptimumService(config=SolverConfig(method=method))
+        service = OptimumService(config=SolverConfig(method=method), store=store)
     elif service.config.method != method:
         raise ConfigurationError(
             f"measure_parallel_stall called with method={method!r} but the "

@@ -285,15 +285,34 @@ class RunRecord:
 
 @dataclass(frozen=True)
 class ResultSet:
-    """The ordered records of one experiment invocation."""
+    """The ordered records of one experiment invocation.
+
+    ``backend`` names the execution backend that ran the uncached points
+    and ``optimum_requests`` counts the optimum computations the run
+    dispatched (every one a store hit or an LP solve) — a fully warmed
+    resume reports 0 for both it and :attr:`simulated_points`, which is the
+    property the resume smoke tests assert.
+    """
 
     name: str
     records: Tuple[RunRecord, ...]
     workers: int = 0
     cached_points: int = 0
+    backend: str = "serial"
+    optimum_requests: int = 0
 
     def __post_init__(self):
         object.__setattr__(self, "records", tuple(self.records))
+
+    @property
+    def simulated_points(self) -> int:
+        """How many points were actually simulated (i.e. not cache hits).
+
+        Meaningful on a full run result; filtered views (``for_algorithm``)
+        keep the run-level ``cached_points``, so the difference is clamped
+        at zero rather than going negative there.
+        """
+        return max(0, len(self.records) - self.cached_points)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -318,6 +337,8 @@ class ResultSet:
             records=tuple(r for r in self.records if r.matches_algorithm(algorithm)),
             workers=self.workers,
             cached_points=self.cached_points,
+            backend=self.backend,
+            optimum_requests=self.optimum_requests,
         )
 
     def ratios_for(self, algorithm: str) -> Dict[str, float]:
@@ -377,6 +398,8 @@ class ResultSet:
             "name": self.name,
             "workers": self.workers,
             "cached_points": self.cached_points,
+            "backend": self.backend,
+            "optimum_requests": self.optimum_requests,
             "records": [record.to_json_dict() for record in self.records],
         }
 
@@ -390,4 +413,6 @@ class ResultSet:
             ),
             workers=int(payload.get("workers", 0)),
             cached_points=int(payload.get("cached_points", 0)),
+            backend=str(payload.get("backend", "serial")),
+            optimum_requests=int(payload.get("optimum_requests", 0)),
         )

@@ -1,9 +1,9 @@
-"""Batched experiment runner: declarative grids, process fan-out, caching.
+"""Batched experiment runner: declarative grids, pluggable backends, durable store.
 
-This is the scale harness the benchmark scripts and the ``repro sweep``
-command drive (see DESIGN.md §6).  It replaces the serial
-:func:`repro.analysis.sweep.run_sweep` loop as the way experiments are
-executed:
+This is the scale harness the benchmark scripts and the ``repro sweep`` /
+``repro ratios`` commands drive (see DESIGN.md §6/§8).  It replaces the
+serial :func:`repro.analysis.sweep.run_sweep` loop as the way experiments
+are executed:
 
 * **Declarative grids** — an :class:`ExperimentSpec` names workload specs
   (the portable strings of :mod:`repro.workloads.spec`), cache sizes, fetch
@@ -11,27 +11,34 @@ executed:
   :mod:`repro.algorithms.registry`); the runner expands the cross product
   into :class:`ExperimentPoint` s.
 
-* **Process fan-out** — points are independent, so they run under a
-  ``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1``.
+* **Pluggable execution** — points are independent, so they run on any
+  :mod:`~repro.analysis.backends` executor (``serial``/``thread``/
+  ``process``, selected by ``ExperimentSpec(backend=...)`` or the CLI
+  ``--backend``; ``auto`` fans out over processes when ``workers > 1``).
   Determinism is preserved by construction: a point is regenerated from its
   spec inside the worker (all workload generators take explicit seeds), and
   results are collected in grid order regardless of completion order, so
-  serial and parallel runs emit byte-identical JSON.
+  every backend emits byte-identical JSON.  A failing point surfaces as a
+  :class:`~repro.errors.PointEvaluationError` naming the exact grid point.
 
-* **Result caching** — each point's result can be cached on disk, keyed by a
-  SHA-256 fingerprint of the *instance content* (sequence, cache size, fetch
-  time, layout, warm set), the algorithm spec and the engine.  Re-running a
-  sweep after editing an unrelated grid axis only simulates the new points.
+* **Durable run store** — with a cache directory (or an explicit
+  :class:`~repro.analysis.store.RunStore`), every point's record persists
+  in one WAL-mode SQLite file, keyed by a SHA-256 fingerprint of the
+  *instance content* (sequence, cache size, fetch time, layout, warm set),
+  the canonical algorithm spec and the engine.  Records are written as they
+  complete, and each declared grid registers a sweep manifest, so a killed
+  sweep keeps its progress and :func:`prepare_sweep` (``repro sweep
+  --resume``) reports exactly what remains.
 
 * **Optimum pipeline** — ``ExperimentSpec(compute_optimum=True)`` routes
   every point's instance through the optimum service
   (:mod:`repro.lp.service`): solves are deduplicated per instance (one LP
-  for all algorithms sharing it), fanned out *alongside* the algorithm
-  simulations on the same process pool, cached on disk under
-  ``<cache_dir>/optima`` keyed by the canonical instance fingerprint, and
-  attached to every record (``optimal_stall``/``optimal_elapsed`` plus the
-  solve wall time).  Cached simulation records that predate the optimum are
-  upgraded in place; re-running a warmed grid performs no LP solve at all.
+  for all algorithms sharing it), dispatched *interleaved with* the
+  algorithm simulations on the same backend, persisted in the run store,
+  and attached to every record (``optimal_stall``/``optimal_elapsed`` plus
+  the solve wall time).  Stored simulation records that predate the optimum
+  are upgraded in place; re-running a warmed grid performs no LP solve at
+  all.
 
 * **Uniform emission** — every point evaluates to one typed
   :class:`~repro.analysis.results.RunRecord`; the run returns them as a
@@ -44,15 +51,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import canonicalize_algorithm_spec, make_algorithm
 from ..disksim.executor import simulate
 from ..disksim.instance import ProblemInstance
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, PointEvaluationError
 from ..lp.canonical import instance_fingerprint as _canonical_fingerprint
 from ..lp.service import OptimumRecord, OptimumService, SolverConfig
 from ..workloads.spec import (
@@ -61,15 +66,25 @@ from ..workloads.spec import (
     with_spec_params,
     workload_accepts,
 )
+from .backends import (
+    ExecutionBackend,
+    SerialBackend,
+    make_backend,
+    resolve_backend_name,
+)
 from .results import ResultSet, RunRecord
+from .store import RunStore, SweepProgress, store_path_for
 
 __all__ = [
     "ExperimentSpec",
     "ExperimentPoint",
     "ExperimentRun",
     "instance_fingerprint",
+    "point_cache_key",
+    "prepare_sweep",
     "run_experiments",
     "evaluate_instances",
+    "sweep_key_for",
 ]
 
 
@@ -93,9 +108,11 @@ class ExperimentSpec:
     ``disks == 1`` placement is irrelevant, so only the first layout is
     emitted there (no duplicate points).
 
-    ``compute_optimum=True`` additionally solves every point's instance
-    optimum through the optimum service (one deduplicated solve per
-    instance, method ``optimum_method`` for multi-disk instances) and
+    ``backend`` selects the execution backend (``auto | serial | thread |
+    process``; ``auto`` means serial at ``workers <= 1`` and process fan-out
+    otherwise).  ``compute_optimum=True`` additionally solves every point's
+    instance optimum through the optimum service (one deduplicated solve
+    per instance, method ``optimum_method`` for multi-disk instances) and
     attaches ``optimal_stall``/``optimal_elapsed``/solve wall time to every
     record, turning the grid into a ratio experiment.
     """
@@ -109,11 +126,13 @@ class ExperimentSpec:
     seeds: Tuple[Optional[int], ...] = (None,)
     layouts: Tuple[str, ...] = ("striped",)
     engine: str = "indexed"
+    backend: str = "auto"
     compute_optimum: bool = False
     optimum_method: str = "auto"
 
     def __post_init__(self):
         SolverConfig(method=self.optimum_method)  # validate eagerly
+        resolve_backend_name(self.backend, 0)  # reject unknown backends here
         for axis in (
             "workloads", "cache_sizes", "fetch_times", "algorithms",
             "disks", "seeds", "layouts",
@@ -216,7 +235,7 @@ class ExperimentPoint:
 
 
 # ---------------------------------------------------------------------------------
-# fingerprints and caching
+# fingerprints and identity
 # ---------------------------------------------------------------------------------
 
 
@@ -241,8 +260,8 @@ def _instance_identity(point: ExperimentPoint) -> str:
     to compute keys.  Prebuilt-instance points (already materialised, so
     fingerprinting costs no extra build) are keyed by canonical content,
     letting equal instances share entries across labels.  Shared by the
-    result-cache key and the optimum-solve deduplication, so the two can
-    never drift apart.
+    store key and the optimum-solve deduplication, so the two can never
+    drift apart.
     """
     if point.workload is not None:
         # Layout only shapes the instance when there is more than one disk;
@@ -255,8 +274,8 @@ def _instance_identity(point: ExperimentPoint) -> str:
     return "content=" + _canonical_fingerprint(point.build_instance())
 
 
-def _point_cache_key(point: ExperimentPoint) -> str:
-    """Cache key of a point: instance identity x canonical algorithm x engine.
+def point_cache_key(point: ExperimentPoint) -> str:
+    """Store key of a point: instance identity x canonical algorithm x engine.
 
     The algorithm identity is the *canonical* spec, so ``delay:3`` and
     ``delay:d=3`` share entries.
@@ -267,15 +286,50 @@ def _point_cache_key(point: ExperimentPoint) -> str:
     ).hexdigest()
 
 
+def sweep_key_for(spec: ExperimentSpec, solver_key: Optional[str] = None) -> str:
+    """Deterministic manifest key of a declared grid (+ optimum config).
+
+    Hashes every grid-defining field of the spec plus the solver
+    configuration key (for optimum sweeps), so the same declaration always
+    resumes the same manifest while any change to the grid starts a new one.
+    """
+    payload = {
+        "name": spec.name,
+        "workloads": list(spec.workloads),
+        "cache_sizes": list(spec.cache_sizes),
+        "fetch_times": list(spec.fetch_times),
+        "algorithms": list(spec.algorithms),
+        "disks": list(spec.disks),
+        "seeds": list(spec.seeds),
+        "layouts": list(spec.layouts),
+        "engine": spec.engine,
+        "solver": solver_key,
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------------
+# worker entry points
+# ---------------------------------------------------------------------------------
+
+
 def _evaluate_point(point: ExperimentPoint) -> RunRecord:
     """Worker entry: simulate one point and return its typed record.
 
-    Module-level (picklable) so it can run inside a process pool; everything
-    it needs travels inside the :class:`ExperimentPoint`.
+    Module-level (picklable) so it can run inside a pool; everything it
+    needs travels inside the :class:`ExperimentPoint`.  Any failure is
+    re-raised as a :class:`PointEvaluationError` naming the grid point, so
+    a parallel sweep's traceback says exactly which point died.
     """
-    instance = point.build_instance()
-    algorithm = make_algorithm(point.algorithm)
-    result = simulate(instance, algorithm, engine=point.engine)
+    try:
+        instance = point.build_instance()
+        algorithm = make_algorithm(point.algorithm)
+        result = simulate(instance, algorithm, engine=point.engine)
+    except Exception as exc:
+        raise PointEvaluationError(
+            f"experiment point [{point.describe()}] failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     return RunRecord.from_simulation(
         result,
         point=point.describe(),
@@ -286,41 +340,40 @@ def _evaluate_point(point: ExperimentPoint) -> RunRecord:
     )
 
 
-def _compute_point_optimum(task: Tuple[ExperimentPoint, SolverConfig, Optional[str]]) -> OptimumRecord:
-    """Worker entry: compute (or fetch from the shared disk cache) one optimum.
+def _compute_point_optimum(
+    task: Tuple[ExperimentPoint, SolverConfig, Optional[str]]
+) -> OptimumRecord:
+    """Worker entry: compute (or fetch from the shared store) one optimum.
 
-    Runs in the same process pool as :func:`_evaluate_point`, so optimum
-    solves proceed alongside algorithm simulations.  The worker-local
-    :class:`OptimumService` consults the shared disk cache first — a warmed
-    cache makes this a fingerprint lookup, never an LP solve.
+    Runs interleaved with :func:`_evaluate_point` on the same backend, so
+    optimum solves proceed alongside algorithm simulations.  The
+    worker-local :class:`OptimumService` consults the shared run store
+    first — a warmed store makes this a fingerprint lookup, never an LP
+    solve.  Failures name the representative grid point.
     """
-    point, config, optimum_cache_dir = task
-    service = OptimumService(optimum_cache_dir, config)
-    return service.optimum(point.build_instance())
+    point, config, store_path = task
+    try:
+        if store_path is None:
+            return OptimumService(config=config).optimum(point.build_instance())
+        with RunStore(store_path) as store:
+            return OptimumService(config=config, store=store).optimum(point.build_instance())
+    except Exception as exc:
+        raise PointEvaluationError(
+            f"optimum solve for point [{point.describe()}] failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
-class _ResultCache:
-    """One-JSON-file-per-point cache of run records under a directory."""
+def _run_task(task: Tuple[str, object]):
+    """Dispatch one tagged task (``sim`` or ``opt``) to its worker entry.
 
-    def __init__(self, directory: Path):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
-
-    def get(self, key: str) -> Optional[RunRecord]:
-        path = self._path(key)
-        if not path.exists():
-            return None
-        try:
-            return RunRecord.from_json_dict(json.loads(path.read_text()))
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Unreadable or pre-RunRecord entries are re-simulated, not fatal.
-            return None
-
-    def put(self, key: str, record: RunRecord) -> None:
-        self._path(key).write_text(json.dumps(record.to_json_dict(), sort_keys=True))
+    The runner submits simulations and optimum solves as one mixed task
+    list, so a single backend interleaves both kinds across its workers.
+    """
+    kind, payload = task
+    if kind == "sim":
+        return _evaluate_point(payload)
+    return _compute_point_optimum(payload)
 
 
 # ---------------------------------------------------------------------------------
@@ -335,24 +388,33 @@ ExperimentRun = ResultSet
 def _execute_points(
     points: Sequence[ExperimentPoint],
     *,
-    workers: int = 0,
-    cache_dir=None,
+    backend: ExecutionBackend,
+    store: Optional[RunStore] = None,
     optimum: Optional[OptimumService] = None,
-) -> Tuple[List[RunRecord], int]:
-    """Evaluate ``points`` (cached, then serial or fanned out) in grid order.
+    sweep_key: Optional[str] = None,
+    keys: Optional[Sequence[str]] = None,
+) -> Tuple[List[RunRecord], int, int]:
+    """Evaluate ``points`` (store hits, then backend fan-out) in grid order.
 
+    Fresh simulation records are persisted to the store *as they stream
+    back* from the backend, so a killed run keeps every completed point.
     With an :class:`OptimumService`, optimum solves are deduplicated per
-    instance identity and dispatched alongside the pending simulations;
-    their results are attached to every record of that instance — including
-    cached records that predate the optimum, which are upgraded in the
-    result cache.  A cached record's optimum is trusted only when its
-    recorded solver key matches this run's configuration; records solved
-    under a different configuration are re-attached through the
-    (config-keyed) optimum cache.
+    instance identity and dispatched interleaved with the pending
+    simulations; their results are attached to every record of that
+    instance — including stored records that predate the optimum, which are
+    upgraded in the store.  A stored record's optimum is trusted only when
+    its recorded solver key matches this run's configuration; records
+    solved under a different configuration are re-attached through the
+    (config-keyed) optimum store.
+
+    Returns ``(records, cached_points, optimum_requests)``.
     """
-    cache = _ResultCache(cache_dir) if cache_dir is not None else None
     records: List[Optional[RunRecord]] = [None] * len(points)
-    keys: List[Optional[str]] = [None] * len(points)
+    if keys is None:
+        keys = [
+            point_cache_key(point) if store is not None else None
+            for point in points
+        ]
     pending: List[Tuple[int, ExperimentPoint, Optional[str]]] = []
     needs_optimum: Dict[str, List[int]] = {}
     representative: Dict[str, ExperimentPoint] = {}
@@ -364,12 +426,11 @@ def _execute_points(
         representative.setdefault(identity, point)
 
     for position, point in enumerate(points):
-        key = _point_cache_key(point) if cache is not None else None
-        keys[position] = key
-        if cache is not None:
-            hit = cache.get(key)
+        key = keys[position]
+        if store is not None:
+            hit = store.get_run(key)
             if hit is not None:
-                # The cached metrics are content-determined, but the identity
+                # The stored metrics are content-determined, but the identity
                 # fields belong to whichever run wrote the entry; restore the
                 # current point's identity so labels stay correct when an
                 # entry is shared across labels.
@@ -391,35 +452,33 @@ def _execute_points(
             request_optimum(position, point)
 
     identities = list(needs_optimum)
-    optimum_cache_dir = (
-        None
-        if optimum is None or optimum.cache_dir is None
-        else str(optimum.cache_dir)
-    )
+    store_path = None if store is None else str(store.path)
+    # On the serial backend the parent's own service (open store connection,
+    # in-memory cache, `solves` accounting) is right there — route the
+    # solves through it directly instead of opening a store per task.
+    direct_optimum = optimum is not None and isinstance(backend, SerialBackend)
+    tasks: List[Tuple[str, object]] = [("sim", point) for _, point, _ in pending]
+    if not direct_optimum:
+        tasks.extend(
+            ("opt", (representative[identity], optimum.config, store_path))
+            for identity in identities
+        )
+
     solved: List[OptimumRecord] = []
-    if pending or identities:
-        if workers and workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                # Both maps enqueue immediately, so optimum solves run
-                # alongside the algorithm simulations on the same pool.
-                fresh_iter = pool.map(_evaluate_point, [p for _, p, _ in pending])
-                opt_iter = pool.map(
-                    _compute_point_optimum,
-                    [
-                        (representative[identity], optimum.config, optimum_cache_dir)
-                        for identity in identities
-                    ],
-                ) if identities else iter(())
-                fresh = list(fresh_iter)
-                solved = list(opt_iter)
-        else:
-            fresh = [_evaluate_point(p) for _, p, _ in pending]
-            solved = [
-                optimum.optimum(representative[identity].build_instance())
-                for identity in identities
-            ]
-        for (position, _point, key), record in zip(pending, fresh):
+    if tasks:
+        results = backend.map(_run_task, tasks)
+        # Simulation results stream back first (submission order); persist
+        # each one immediately so an interrupted run loses no progress.
+        for (position, _point, key), record in zip(pending, results):
             records[position] = record
+            if store is not None:
+                store.put_run(key, record)
+        solved = list(results)
+    if direct_optimum:
+        solved = [
+            optimum.optimum(representative[identity].build_instance())
+            for identity in identities
+        ]
 
     if optimum is not None:
         for identity, optimum_record in zip(identities, solved):
@@ -431,63 +490,144 @@ def _execute_points(
                     solve_seconds=optimum_record.solve_seconds,
                     solver_key=optimum.config.key(),
                 )
+        if store is not None:
+            # Persist the optimum-carrying versions: fresh simulations are
+            # re-written with their optimum attached, and previously stored
+            # records that just gained (or re-keyed) an optimum are upgraded.
+            store.put_runs(
+                (keys[position], records[position])
+                for positions in needs_optimum.values()
+                for position in positions
+                if keys[position] is not None
+            )
 
-    if cache is not None:
-        written = set()
-        for position, _point, key in pending:
-            cache.put(key, records[position])
-            written.add(position)
-        if optimum is not None:
-            # Upgrade previously cached records that gained an optimum now.
-            for positions in needs_optimum.values():
-                for position in positions:
-                    if position not in written and keys[position] is not None:
-                        cache.put(keys[position], records[position])
+    if store is not None and sweep_key is not None:
+        store.mark_points_done(sweep_key, range(len(points)))
 
-    return [record for record in records if record is not None], cached_points
+    return (
+        [record for record in records if record is not None],
+        cached_points,
+        len(identities),
+    )
 
 
 def _make_optimum_service(
     enabled: bool,
-    cache_dir,
+    store: Optional[RunStore],
     method: str,
     config: Optional[SolverConfig],
 ) -> Optional[OptimumService]:
-    """The optimum service of a run (disk cache under ``<cache_dir>/optima``)."""
+    """The optimum service of a run (persisted through the run store)."""
     if not enabled:
         return None
-    optimum_dir = None if cache_dir is None else Path(cache_dir) / "optima"
-    return OptimumService(optimum_dir, config or SolverConfig(method=method))
+    return OptimumService(config=config or SolverConfig(method=method), store=store)
+
+
+def _solver_key_for(
+    spec: ExperimentSpec, optimum_config: Optional[SolverConfig]
+) -> Optional[str]:
+    """The solver-configuration key an optimum sweep of ``spec`` runs under."""
+    if not spec.compute_optimum:
+        return None
+    return (optimum_config or SolverConfig(method=spec.optimum_method)).key()
+
+
+def _register_sweep(
+    spec: ExperimentSpec,
+    store: RunStore,
+    points: Sequence[ExperimentPoint],
+    keys: Sequence[str],
+    solver_key: Optional[str],
+) -> str:
+    """Register ``spec``'s manifest (reusing precomputed point keys).
+
+    Reconciles the manifest against the stored records (a record counts as
+    completion even if the writing run was killed before it could update
+    the manifest) and returns the sweep key.
+    """
+    sweep_key = sweep_key_for(spec, solver_key)
+    store.begin_sweep(
+        sweep_key, spec.name,
+        [(key, point.describe()) for key, point in zip(keys, points)],
+    )
+    store.reconcile_sweep(sweep_key, require_solver_key=solver_key)
+    return sweep_key
+
+
+def prepare_sweep(
+    spec: ExperimentSpec,
+    store: RunStore,
+    *,
+    optimum_config: Optional[SolverConfig] = None,
+) -> SweepProgress:
+    """Register ``spec``'s manifest in ``store`` and report its progress.
+
+    The returned :class:`SweepProgress` names exactly the points a
+    ``--resume`` run will still execute (see :func:`_register_sweep` for
+    the reconcile semantics).
+    """
+    points = spec.points()
+    keys = [point_cache_key(point) for point in points]
+    sweep_key = _register_sweep(
+        spec, store, points, keys, _solver_key_for(spec, optimum_config)
+    )
+    return store.sweep_progress(sweep_key)
 
 
 def run_experiments(
     spec: ExperimentSpec,
     *,
     workers: int = 0,
+    backend: Optional[str] = None,
     cache_dir=None,
+    store: Optional[RunStore] = None,
     optimum_config: Optional[SolverConfig] = None,
 ) -> ResultSet:
     """Run the full grid of ``spec`` and return its ordered :class:`ResultSet`.
 
-    ``workers > 1`` fans the uncached points out over that many processes;
-    output order (and therefore the JSON/CSV documents) is identical to the
-    serial run.  ``cache_dir`` enables the per-point result cache (and the
-    optimum cache under ``<cache_dir>/optima`` when the spec computes
-    optima).  ``optimum_config`` overrides the solver configuration derived
-    from ``spec.optimum_method``.
+    ``backend`` (default: the spec's) and ``workers`` select the execution
+    backend; output order (and therefore the JSON/CSV documents) is
+    identical across all backends.  ``cache_dir`` opens the run store at
+    ``<cache_dir>/runs.sqlite`` (``store`` passes one in directly), which
+    persists every record and optimum, registers the sweep manifest, and
+    makes warmed re-runs pure lookups.  ``optimum_config`` overrides the
+    solver configuration derived from ``spec.optimum_method``.
     """
-    optimum = _make_optimum_service(
-        spec.compute_optimum, cache_dir, spec.optimum_method, optimum_config
-    )
-    records, cached_points = _execute_points(
-        spec.points(), workers=workers, cache_dir=cache_dir, optimum=optimum
-    )
-    return ResultSet(
-        name=spec.name,
-        records=tuple(records),
-        workers=workers,
-        cached_points=cached_points,
-    )
+    backend_obj = make_backend(backend or spec.backend, workers)
+    owned_store = None
+    if store is None and cache_dir is not None:
+        store = owned_store = RunStore(store_path_for(cache_dir))
+    try:
+        optimum = _make_optimum_service(
+            spec.compute_optimum, store, spec.optimum_method, optimum_config
+        )
+        points = spec.points()
+        keys = None
+        sweep_key = None
+        if store is not None:
+            keys = [point_cache_key(point) for point in points]
+            sweep_key = _register_sweep(
+                spec, store, points, keys, _solver_key_for(spec, optimum_config)
+            )
+        records, cached_points, optimum_requests = _execute_points(
+            points,
+            backend=backend_obj,
+            store=store,
+            optimum=optimum,
+            sweep_key=sweep_key,
+            keys=keys,
+        )
+        return ResultSet(
+            name=spec.name,
+            records=tuple(records),
+            workers=workers,
+            cached_points=cached_points,
+            backend=backend_obj.name,
+            optimum_requests=optimum_requests,
+        )
+    finally:
+        if owned_store is not None:
+            owned_store.close()
 
 
 def evaluate_instances(
@@ -495,8 +635,10 @@ def evaluate_instances(
     algorithms: Sequence[str],
     *,
     workers: int = 0,
+    backend: str = "auto",
     engine: str = "indexed",
     cache_dir=None,
+    store: Optional[RunStore] = None,
     compute_optimum: bool = False,
     optimum_method: str = "auto",
     optimum_config: Optional[SolverConfig] = None,
@@ -506,9 +648,11 @@ def evaluate_instances(
     The benchmark scripts construct instances programmatically (adversarial
     families, paper examples) that have no workload-spec form; this runs the
     same batched machinery over ``(label, instance)`` pairs.  Instances are
-    pickled to the workers when ``workers > 1``.  ``compute_optimum=True``
+    pickled to the workers on the process backend.  ``compute_optimum=True``
     attaches every instance's optimum (one deduplicated solve per instance,
-    shared by all algorithms) exactly as in :func:`run_experiments`.
+    shared by all algorithms) exactly as in :func:`run_experiments`.  Ad-hoc
+    instance lists declare no sweep manifest, but their records and optima
+    persist in the run store all the same.
     """
     points = [
         ExperimentPoint(
@@ -523,15 +667,25 @@ def evaluate_instances(
         for label, instance in labeled_instances
         for algorithm in algorithms
     ]
-    optimum = _make_optimum_service(
-        compute_optimum, cache_dir, optimum_method, optimum_config
-    )
-    records, cached_points = _execute_points(
-        points, workers=workers, cache_dir=cache_dir, optimum=optimum
-    )
-    return ResultSet(
-        name="ad-hoc",
-        records=tuple(records),
-        workers=workers,
-        cached_points=cached_points,
-    )
+    backend_obj = make_backend(backend, workers)
+    owned_store = None
+    if store is None and cache_dir is not None:
+        store = owned_store = RunStore(store_path_for(cache_dir))
+    try:
+        optimum = _make_optimum_service(
+            compute_optimum, store, optimum_method, optimum_config
+        )
+        records, cached_points, optimum_requests = _execute_points(
+            points, backend=backend_obj, store=store, optimum=optimum
+        )
+        return ResultSet(
+            name="ad-hoc",
+            records=tuple(records),
+            workers=workers,
+            cached_points=cached_points,
+            backend=backend_obj.name,
+            optimum_requests=optimum_requests,
+        )
+    finally:
+        if owned_store is not None:
+            owned_store.close()

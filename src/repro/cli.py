@@ -11,8 +11,12 @@ Commands
 ``ratios``    — run a workload x algorithm grid with optimum computation:
                 every record carries the certified optimum, the
                 approximation ratios and the solve wall time; optima are
-                solved once per instance, fanned out alongside the
-                simulations and cached under ``<cache-dir>/optima``.
+                solved once per instance, dispatched interleaved with the
+                simulations and persisted in the run store
+                (``<cache-dir>/runs.sqlite``).
+``store``     — operate the SQLite run store: ``stats`` (what it holds),
+                ``gc`` (drop finished sweep manifests, compact the file),
+                ``import`` (migrate a legacy per-point JSON cache directory).
 ``workloads`` — print the typed workload catalog: every registered spec name,
                 its parameter schema and an example spec, plus the layouts.
 ``algorithms``— print the typed algorithm catalog: every registered algorithm,
@@ -38,10 +42,13 @@ whenever a listed spec takes more than one parameter.
 from __future__ import annotations
 
 import argparse
+import json as json_module
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .algorithms import format_algorithm_catalog, make_algorithm
+from .analysis.backends import BACKEND_NAMES
 from .analysis.ratios import measure_parallel_stall, measure_ratios
 from .analysis.reporting import (
     format_ratio_table,
@@ -49,11 +56,13 @@ from .analysis.reporting import (
     format_result_set,
     format_table,
 )
-from .analysis.runner import ExperimentSpec, run_experiments
+from .analysis.runner import ExperimentSpec, prepare_sweep, run_experiments
+from .analysis.store import RunStore, store_path_for
+from .analysis.results import ResultSet
 from .core.bounds import SingleDiskBounds
 from .disksim.executor import simulate
 from .disksim.instance import ProblemInstance
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .viz.gantt import render_gantt
 from .viz.timeline import render_timeline
 from .workloads import theorem2_sequence
@@ -122,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. 'aggressive;delay:d=3;demand:evict=lru' "
         "(see 'repro algorithms' for the catalog)",
     )
+    p_cmp.add_argument(
+        "--cache-dir", default=None,
+        help="run-store directory shared with sweep/ratios: the optimum is "
+        "served from (and persisted to) <cache-dir>/runs.sqlite",
+    )
 
     def add_grid_options(p: argparse.ArgumentParser, *, name_default: str) -> None:
         p.add_argument(
@@ -147,9 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seeds", default="",
                        help="comma-separated seeds substituted into the workload specs")
         p.add_argument("--workers", type=int, default=0,
-                       help="process-pool size (0/1 = run in-process)")
+                       help="worker-pool size (0/1 = run in-process)")
+        p.add_argument("--backend", default="auto", choices=BACKEND_NAMES,
+                       help="execution backend for the grid points "
+                       "(auto = serial at workers<=1, process fan-out otherwise)")
         p.add_argument("--cache-dir", default=None,
-                       help="directory for the per-point result cache")
+                       help="directory for the run store (a single SQLite file, "
+                       "runs.sqlite, holding records, optima and sweep manifests)")
+        p.add_argument("--resume", action="store_true",
+                       help="reconcile this grid's sweep manifest against the run "
+                       "store, report exactly what remains, and run only that "
+                       "(requires --cache-dir)")
         p.add_argument("--json", dest="json_path", default=None,
                        help="write results as deterministic JSON to this path")
         p.add_argument("--csv", dest="csv_path", default=None,
@@ -171,6 +193,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="auto", choices=["auto", "milp", "lp-rounding"],
         help="optimum method for multi-disk instances (single-disk is always exact)",
     )
+
+    p_store = sub.add_parser(
+        "store", help="operate the SQLite run store (stats, gc, import)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    def add_store_location(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", default=None,
+                       help="path of the run-store database file")
+        p.add_argument("--cache-dir", default=None,
+                       help="cache directory holding the store (same option the "
+                       "sweep/ratios commands take); the database is "
+                       "<cache-dir>/runs.sqlite")
+
+    p_store_stats = store_sub.add_parser(
+        "stats", help="print what the store holds (runs, optima, sweep progress)"
+    )
+    add_store_location(p_store_stats)
+    p_store_stats.add_argument("--json", dest="json_path", default=None,
+                               help="also write the stats as JSON to this path")
+
+    p_store_gc = store_sub.add_parser(
+        "gc", help="drop finished sweep manifests and compact the database"
+    )
+    add_store_location(p_store_gc)
+
+    p_store_import = store_sub.add_parser(
+        "import", help="migrate a legacy per-point JSON cache directory into the store"
+    )
+    p_store_import.add_argument("json_cache_dir",
+                                help="directory of legacy <key>.json result files "
+                                "(with an optional optima/ subdirectory)")
+    add_store_location(p_store_import)
 
     p_wl = sub.add_parser(
         "workloads", help="list the workload catalog and parameter schemas"
@@ -219,10 +274,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     instance = _make_instance(args)
     algorithms = [make_algorithm(spec) for spec in _split_specs(args.algorithms)]
-    if instance.num_disks > 1:
-        report = measure_parallel_stall(instance, algorithms)
-    else:
-        report = measure_ratios(instance, algorithms)
+    store = (
+        RunStore(store_path_for(args.cache_dir)) if args.cache_dir is not None else None
+    )
+    try:
+        if instance.num_disks > 1:
+            report = measure_parallel_stall(instance, algorithms, store=store)
+        else:
+            report = measure_ratios(instance, algorithms, store=store)
+    finally:
+        if store is not None:
+            store.close()
     print(format_report(report))
     return 0
 
@@ -232,7 +294,12 @@ def _parse_int_list(text: str) -> List[int]:
 
 
 def _grid_spec(args: argparse.Namespace, **extra) -> ExperimentSpec:
-    """The :class:`ExperimentSpec` described by the shared grid options."""
+    """The :class:`ExperimentSpec` described by the shared grid options.
+
+    This is the single place the ``sweep`` and ``ratios`` subcommands parse
+    their axes and specs through, so the two can never drift on grid
+    handling.
+    """
     seeds = tuple(_parse_int_list(args.seeds)) or (None,)
     return ExperimentSpec(
         name=args.name,
@@ -243,6 +310,7 @@ def _grid_spec(args: argparse.Namespace, **extra) -> ExperimentSpec:
         layouts=tuple(l.strip() for l in args.layouts.split(",") if l.strip()),
         algorithms=tuple(_split_specs(args.algorithms)),
         seeds=seeds,
+        backend=args.backend,
         **extra,
     )
 
@@ -256,27 +324,102 @@ def _write_outputs(run, args: argparse.Namespace) -> None:
         print(f"wrote CSV to {args.csv_path}")
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    spec = _grid_spec(args)
-    run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
+def _report_resume(spec: ExperimentSpec, store: RunStore) -> None:
+    """Print the manifest state a ``--resume`` run starts from."""
+    progress = prepare_sweep(spec, store)
+    print(f"resume {progress.describe()}")
+    shown = progress.remaining_labels[:10]
+    for label in shown:
+        print(f"  - {label}")
+    if len(progress.remaining_labels) > len(shown):
+        print(f"  ... and {len(progress.remaining_labels) - len(shown)} more")
+
+
+def _run_grid_command(args: argparse.Namespace, **extra) -> ResultSet:
+    """Shared ``sweep``/``ratios`` execution: spec, resume report, run, summary.
+
+    One code path builds the spec, honours ``--resume``, executes the grid
+    and prints the summary line, so the two grid subcommands cannot drift
+    on axis handling, backend selection or store behaviour.  A ``--resume``
+    run opens the store once and shares the connection between the report
+    and the execution.
+    """
+    spec = _grid_spec(args, **extra)
+    store = None
+    try:
+        if args.resume:
+            if args.cache_dir is None:
+                raise ConfigurationError(
+                    "--resume needs --cache-dir (the run store location)"
+                )
+            store = RunStore(store_path_for(args.cache_dir))
+            _report_resume(spec, store)
+        run = run_experiments(
+            spec,
+            workers=args.workers,
+            cache_dir=None if store is not None else args.cache_dir,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
     print(
-        f"sweep {run.name!r}: {len(run.records)} points "
-        f"({run.cached_points} cached, workers={args.workers})"
+        f"{args.command} {run.name!r}: {len(run.records)} points "
+        f"({run.cached_points} cached, {run.simulated_points} simulated, "
+        f"{run.optimum_requests} optimum requests, workers={args.workers}, "
+        f"backend={run.backend})"
     )
+    return run
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    run = _run_grid_command(args)
     print(format_result_set(run))
     _write_outputs(run, args)
     return 0
 
 
 def _cmd_ratios(args: argparse.Namespace) -> int:
-    spec = _grid_spec(args, compute_optimum=True, optimum_method=args.method)
-    run = run_experiments(spec, workers=args.workers, cache_dir=args.cache_dir)
-    print(
-        f"ratios {run.name!r}: {len(run.records)} points "
-        f"({run.cached_points} cached, workers={args.workers})"
-    )
+    run = _run_grid_command(args, compute_optimum=True, optimum_method=args.method)
     print(format_ratio_table(run))
     _write_outputs(run, args)
+    return 0
+
+
+def _store_db_path(args: argparse.Namespace) -> Path:
+    """The database path the ``repro store`` options select."""
+    if args.db is not None:
+        return Path(args.db)
+    if args.cache_dir is not None:
+        return store_path_for(args.cache_dir)
+    raise ConfigurationError("repro store needs --db or --cache-dir")
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    path = _store_db_path(args)
+    if args.store_command != "import" and not path.exists():
+        raise ConfigurationError(f"no run store at {path}")
+    with RunStore(path) as store:
+        if args.store_command == "stats":
+            stats = store.stats()
+            width = max(len(key) for key in stats)
+            for key, value in stats.items():
+                print(f"{key:<{width}}  {value}")
+            if args.json_path:
+                Path(args.json_path).write_text(
+                    json_module.dumps(stats, indent=2, sort_keys=True) + "\n"
+                )
+                print(f"wrote JSON to {args.json_path}")
+        elif args.store_command == "gc":
+            outcome = store.gc()
+            print(
+                f"removed {outcome['sweeps_removed']} finished sweep manifest(s) "
+                f"({outcome['points_removed']} point rows), reclaimed "
+                f"{outcome['reclaimed_bytes']} bytes"
+            )
+        else:  # import
+            report = store.import_json_cache(args.json_cache_dir)
+            print(report.describe())
     return 0
 
 
@@ -332,6 +475,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "ratios": _cmd_ratios,
+        "store": _cmd_store,
         "workloads": _cmd_workloads,
         "algorithms": _cmd_algorithms,
         "lowerbound": _cmd_lowerbound,

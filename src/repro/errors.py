@@ -14,8 +14,10 @@ __all__ = [
     "InvalidSequenceError",
     "InvalidScheduleError",
     "CacheError",
+    "PointEvaluationError",
     "PolicyError",
     "SolverError",
+    "StoreError",
     "InfeasibleError",
 ]
 
@@ -49,12 +51,27 @@ class CacheError(ReproError):
     """An illegal cache-state transition was attempted."""
 
 
+class PointEvaluationError(ReproError):
+    """Evaluating one experiment grid point failed.
+
+    Raised by the runner's worker entry points with the failing
+    ``ExperimentPoint.describe()`` label in the message, so a parallel
+    sweep's failure names the exact grid point instead of surfacing a bare
+    worker traceback.  Carries only its message string, so it pickles
+    cleanly across process-pool boundaries.
+    """
+
+
 class PolicyError(ReproError):
     """A prefetching policy returned an invalid decision."""
 
 
 class SolverError(ReproError):
     """The LP/MILP backend failed or returned an unusable result."""
+
+
+class StoreError(ReproError):
+    """The run store could not be opened (missing, corrupt, not a database)."""
 
 
 class InfeasibleError(SolverError):

@@ -11,10 +11,13 @@ infrastructure service instead of an ad-hoc call:
   through :mod:`repro.lp.canonical` (SHA-256 over the normalized instance
   plus the solver configuration), so equivalent instances produced by any
   code path share one optimum.
-* **Two-level cache** — an in-memory map per service plus an optional
-  disk cache (one JSON file per fingerprint, written atomically via
-  ``os.replace``), shared safely between serial runs and
-  ``ProcessPoolExecutor`` workers: concurrent writers of the same
+* **Layered cache** — an in-memory map per service plus up to two durable
+  layers: a duck-typed *store* (any object with
+  ``get_optimum(fingerprint)``/``put_optimum(record)`` — in practice the
+  SQLite :class:`~repro.analysis.store.RunStore`, which is concurrent-
+  writer safe by construction) and/or a legacy JSON disk cache (one file
+  per fingerprint, written atomically via ``os.replace``).  Both are safe
+  between serial runs and pool workers: concurrent writers of the same
   fingerprint write identical bytes, and a torn read is treated as a miss
   and re-solved.
 * **One solver policy** — :class:`SolverConfig` pins the method
@@ -178,23 +181,29 @@ class OptimumService:
     """Facade over optimum computation: fingerprint, look up, solve, store.
 
     One service instance pins one :class:`SolverConfig`.  ``cache_dir``
-    enables the shared disk cache (one ``<fingerprint>.json`` per optimum,
-    atomic writes); without it the service still deduplicates in memory, so
-    repeated algorithms over the same instance within a process solve one
-    LP.  ``solves`` counts the LP computations actually performed by *this*
-    service object — the "re-running is a 100% cache hit" acceptance tests
-    assert it stays 0 on warmed caches.
+    enables the legacy JSON disk cache (one ``<fingerprint>.json`` per
+    optimum, atomic writes); ``store`` plugs in a durable record store —
+    any object exposing ``get_optimum(fingerprint)`` and
+    ``put_optimum(record)``, in practice the runner's SQLite
+    :class:`~repro.analysis.store.RunStore`.  Without either the service
+    still deduplicates in memory, so repeated algorithms over the same
+    instance within a process solve one LP.  ``solves`` counts the LP
+    computations actually performed by *this* service object — the
+    "re-running is a 100% cache hit" acceptance tests assert it stays 0 on
+    warmed caches.
     """
 
     def __init__(
         self,
         cache_dir: Optional[os.PathLike] = None,
         config: Optional[SolverConfig] = None,
+        store=None,
     ):
         self.config = config or SolverConfig()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.record_store = store
         self._memory: Dict[str, OptimumRecord] = {}
         self.solves = 0
 
@@ -210,10 +219,15 @@ class OptimumService:
         return self.cache_dir / f"{fingerprint}.json"
 
     def lookup(self, fingerprint: str) -> Optional[OptimumRecord]:
-        """The cached record under ``fingerprint``, or None (memory, then disk)."""
+        """The cached record under ``fingerprint``: memory, then store, then disk."""
         record = self._memory.get(fingerprint)
         if record is not None:
             return record
+        if self.record_store is not None:
+            record = self.record_store.get_optimum(fingerprint)
+            if record is not None:
+                self._memory[fingerprint] = record
+                return record
         if self.cache_dir is None:
             return None
         path = self._path(fingerprint)
@@ -227,14 +241,18 @@ class OptimumService:
         return record
 
     def store(self, record: OptimumRecord) -> None:
-        """Cache ``record`` in memory and (atomically) on disk.
+        """Cache ``record`` in memory and in every durable layer.
 
-        The write goes to a process-unique temporary file first and is
-        published with ``os.replace``, so a concurrent reader sees either
-        the previous state or the complete record — never a torn file —
-        and concurrent writers of the same fingerprint are idempotent.
+        The record store serializes concurrent writers itself (SQLite
+        transactions); the JSON layer writes to a process-unique temporary
+        file first and publishes it with ``os.replace``, so a concurrent
+        reader sees either the previous state or the complete record —
+        never a torn file — and concurrent writers of the same fingerprint
+        are idempotent.
         """
         self._memory[record.fingerprint] = record
+        if self.record_store is not None:
+            self.record_store.put_optimum(record)
         if self.cache_dir is None:
             return
         path = self._path(record.fingerprint)

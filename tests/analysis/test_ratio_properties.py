@@ -23,6 +23,7 @@ from repro.algorithms import make_algorithm
 from repro.algorithms.registry import available_algorithms
 from repro.analysis.results import RUN_RECORD_COLUMNS
 from repro.analysis.runner import ExperimentSpec, run_experiments
+from repro.analysis.store import RunStore, store_path_for
 from repro.disksim import ProblemInstance, simulate
 from repro.lp import OptimumService
 from repro.workloads import uniform_random, zipf
@@ -97,7 +98,8 @@ class TestSerialParallelOptima:
         assert [r.optimal_elapsed for r in second] == [r.optimal_elapsed for r in first]
         assert {r.optimum_solver_key for r in first} == {SolverConfig().key()}
         assert {r.optimum_solver_key for r in second} == {other.key()}
-        assert len(list((tmp_path / "optima").glob("*.json"))) == 2
+        with RunStore(store_path_for(tmp_path)) as store:
+            assert store.count_optima() == 2
 
     def test_one_solve_shared_by_all_algorithms_of_an_instance(self, tmp_path):
         """Optimum solves are deduplicated per instance, not per point."""
@@ -107,8 +109,9 @@ class TestSerialParallelOptima:
             seeds=(None,),
         )
         run = run_experiments(spec, cache_dir=tmp_path)
-        optima_dir = tmp_path / "optima"
-        assert len(list(optima_dir.glob("*.json"))) == 1
+        assert run.optimum_requests == 1
+        with RunStore(store_path_for(tmp_path)) as store:
+            assert store.count_optima() == 1
         solve_times = {r.optimum_solve_seconds for r in run}
         assert len(solve_times) == 1  # all four records carry the one solve
 

@@ -93,6 +93,16 @@ class TestResultSet:
         header = path.read_text().splitlines()[0]
         assert header == ",".join(RUN_RECORD_COLUMNS)
 
+    def test_filtered_views_keep_simulated_points_nonnegative(self):
+        """Filters keep the run-level cache count; the derived count clamps."""
+        full = ResultSet(
+            name="warm", records=(_record(), _record(point="p2")), cached_points=2,
+        )
+        assert full.simulated_points == 0
+        filtered = full.for_algorithm("delay(2)")
+        assert len(filtered.records) == 2
+        assert full.for_algorithm("nothing").simulated_points == 0
+
     def test_safe_ratio_conventions(self):
         assert safe_ratio(0, 0) == 1.0
         assert safe_ratio(3, 0) == float("inf")

@@ -14,7 +14,7 @@ from repro.analysis.runner import (
     run_experiments,
 )
 from repro.disksim import ProblemInstance
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PointEvaluationError
 from repro.workloads import single_disk_example, zipf
 
 
@@ -168,6 +168,22 @@ class TestRun:
         elapsed = run.metric("elapsed_time")
         assert elapsed["paper alg=aggressive"] == 13
         assert elapsed["paper alg=conservative"] == 12
+
+
+class TestWorkerFailures:
+    """A failing point must be named, not surface as a bare worker traceback."""
+
+    @pytest.mark.parametrize("workers,backend", [(0, "serial"), (2, "process")])
+    def test_failure_names_the_exact_grid_point(self, workers, backend):
+        spec = _small_spec(
+            workloads=("trace:path=/nonexistent/never.txt",),
+            cache_sizes=(4,), seeds=(None,), algorithms=("aggressive",),
+        )
+        with pytest.raises(PointEvaluationError) as excinfo:
+            run_experiments(spec, workers=workers, backend=backend)
+        message = str(excinfo.value)
+        assert "trace:path=/nonexistent/never.txt k=4 F=3 D=1 alg=aggressive" in message
+        assert "FileNotFoundError" in message
 
 
 class TestFingerprint:

@@ -75,9 +75,18 @@ class TestArchitectureGuide:
             assert layer in guide, f"architecture guide misses layer {layer}"
         for module in (
             "OptimumService", "ExperimentSpec", "RunRecord", "ResultSet",
-            "canonical.py", "service.py", "runner.py", "reference.md",
+            "ExecutionBackend", "RunStore", "canonical.py", "service.py",
+            "runner.py", "backends.py", "store.py", "reference.md",
         ):
             assert module in guide, f"architecture guide misses {module}"
+
+    def test_readme_documents_the_resume_flow(self):
+        """README keeps the run-store / resume walkthrough."""
+        readme = (ROOT / "README.md").read_text(encoding="utf8")
+        assert "--resume" in readme
+        assert "runs.sqlite" in readme
+        for subcommand in ("repro store stats", "repro store gc", "repro store import"):
+            assert subcommand in readme, f"README misses {subcommand}"
 
     def test_readme_documents_the_ratio_flow(self):
         """README keeps the quickstart pipeline and the bench mapping."""

@@ -200,6 +200,103 @@ class TestCommands:
         assert code == 0
         assert "D=2" in out
 
+    def test_sweep_backend_and_resume(self, capsys, tmp_path):
+        grid = [
+            "sweep",
+            "-w", "zipf:n=30,blocks=8",
+            "-k", "4", "-F", "3",
+            "-a", "aggressive,demand",
+            "--seeds", "0",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(grid + ["--backend", "thread", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=thread" in out and "2 simulated" in out
+        # Warmed resume: the manifest reports completion, nothing re-runs.
+        assert main(grid + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume 'cli-sweep': 2/2 points complete, 0 remaining" in out
+        assert "0 simulated" in out and "0 optimum requests" in out
+
+    def test_compare_reuses_store_optima(self, capsys, tmp_path, monkeypatch):
+        """A warmed run store makes `repro compare` a pure optimum lookup."""
+        command = [
+            "compare",
+            "-w", "loop:blocks=10,loops=2",
+            "-k", "4", "-F", "3",
+            "-a", "aggressive,conservative",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(command) == 0
+        capsys.readouterr()
+
+        import repro.lp.service as service_module
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - must not run
+            raise AssertionError("warmed store must serve the compare optimum")
+
+        monkeypatch.setattr(service_module, "compute_optimum_record", boom)
+        assert main(command) == 0
+        assert "optimal stall" in capsys.readouterr().out
+
+    def test_resume_requires_cache_dir(self, capsys):
+        code = main(
+            ["sweep", "-w", "zipf:n=30,blocks=8", "-k", "4", "-F", "3",
+             "-a", "aggressive", "--resume"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--resume needs --cache-dir" in err
+
+    def test_store_stats_gc_import(self, capsys, tmp_path):
+        import json as json_module
+
+        cache = tmp_path / "cache"
+        assert main(
+            ["sweep", "-w", "zipf:n=30,blocks=8", "-k", "4", "-F", "3",
+             "-a", "aggressive", "--seeds", "0", "--cache-dir", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        stats_json = tmp_path / "stats.json"
+        assert main(
+            ["store", "stats", "--cache-dir", str(cache), "--json", str(stats_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "runs" in out and "sweeps" in out
+        payload = json_module.loads(stats_json.read_text())
+        assert payload["runs"] == 1 and payload["sweeps"] == 1
+        assert main(["store", "gc", "--cache-dir", str(cache)]) == 0
+        assert "removed 1 finished sweep manifest" in capsys.readouterr().out
+
+        # Import a legacy-format JSON cache directory into a fresh store.
+        from repro.analysis.runner import ExperimentSpec, point_cache_key, run_experiments
+
+        spec = ExperimentSpec(
+            name="legacy", workloads=("zipf:n=30,blocks=8,seed=0",),
+            cache_sizes=(4,), fetch_times=(3,), algorithms=("aggressive",),
+        )
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        run = run_experiments(spec)
+        (legacy / f"{point_cache_key(spec.points()[0])}.json").write_text(
+            json_module.dumps(run.records[0].to_json_dict(), sort_keys=True)
+        )
+        db = tmp_path / "imported.sqlite"
+        assert main(["store", "import", str(legacy), "--db", str(db)]) == 0
+        assert "imported 1 run record" in capsys.readouterr().out
+
+    def test_store_stats_on_missing_db_fails_cleanly(self, capsys, tmp_path):
+        code = main(["store", "stats", "--db", str(tmp_path / "nope.sqlite")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no run store" in err
+
+    def test_store_requires_a_location(self, capsys):
+        code = main(["store", "stats"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--db or --cache-dir" in err
+
     def test_lowerbound_command(self, capsys):
         code = main(["lowerbound", "-k", "7", "-F", "4", "--phases", "3"])
         out = capsys.readouterr().out
