@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Engine throughput microbenchmark: indexed engine vs the scan reference.
+"""Engine throughput microbenchmark: loop engine vs scan vs vector batch.
 
-Measures ``simulate()`` throughput (requests/second) on 5,000-request
-single-disk workloads for both query backends and writes the numbers to
+Thin wrapper over :mod:`repro.analysis.enginebench` (the same measurement
+core the ``repro bench engine`` subcommand runs).  Measures ``simulate()``
+throughput (requests/second) of the loop and scan engines plus the batched
+vector engine (``simulate_batch`` over same-shape instance stacks) on
+5,000-request single-disk workloads, and writes the numbers to
 ``BENCH_engine.json`` next to this script, so the performance trajectory is
 tracked from PR to PR.  The ``loop`` and ``zipf-small-ws`` workloads are the
-regimes where the scan engine's per-decision O(n) re-scan turns quadratic
-(small working sets keep the next missing block far away); the indexed
-engine is expected to be >= 5x faster there.
+regimes where the scan engine's per-decision O(n) re-scan turns quadratic;
+the loop engine is expected to be >= 5x faster there.  The vector batch is
+expected to clear 10x over the loop engine on the bench grid; the CI perf
+gate (``repro bench engine --gate``) enforces a 5x floor per cell.
 
 Run with:  python benchmarks/bench_engine_speed.py [output.json]
 """
@@ -16,69 +20,14 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
 
-from repro.algorithms import make_algorithm
-from repro.disksim import ProblemInstance, simulate
-from repro.workloads import looping_scan, zipf
-
-N_REQUESTS = 5000
-
-WORKLOADS = {
-    # label: (sequence factory, cache size, fetch time)
-    "zipf-hot": (lambda: zipf(N_REQUESTS, 120, skew=1.0, seed=7), 64, 10),
-    "zipf-small-ws": (lambda: zipf(N_REQUESTS, 70, skew=1.1, seed=3), 64, 10),
-    "loop": (lambda: looping_scan(60, 84)[:N_REQUESTS], 64, 10),
-}
-
-ALGORITHMS = ("aggressive", "delay:d=3")
-
-
-def _time_run(instance: ProblemInstance, algorithm_spec: str, engine: str, reps: int) -> float:
-    """Best-of-``reps`` wall time of one simulate() call."""
-    best = float("inf")
-    for _ in range(reps):
-        algorithm = make_algorithm(algorithm_spec)
-        start = time.perf_counter()
-        simulate(instance, algorithm, engine=engine)
-        best = min(best, time.perf_counter() - start)
-    return best
+from repro.analysis.enginebench import format_engine_report, run_engine_benchmark
 
 
 def run_benchmark() -> dict:
     """Measure all workload x algorithm cells and return the report dict."""
-    results = {}
-    worst_speedup = float("inf")
-    for label, (factory, cache_size, fetch_time) in WORKLOADS.items():
-        sequence = factory()
-        instance = ProblemInstance.single_disk(
-            sequence, cache_size=cache_size, fetch_time=fetch_time
-        )
-        for algorithm in ALGORITHMS:
-            indexed = _time_run(instance, algorithm, "indexed", reps=3)
-            scan = _time_run(instance, algorithm, "scan", reps=1)
-            speedup = scan / indexed
-            cell = {
-                "num_requests": len(sequence),
-                "cache_size": cache_size,
-                "fetch_time": fetch_time,
-                "indexed_seconds": round(indexed, 6),
-                "scan_seconds": round(scan, 6),
-                "indexed_requests_per_second": round(len(sequence) / indexed, 1),
-                "scan_requests_per_second": round(len(sequence) / scan, 1),
-                "speedup": round(speedup, 2),
-            }
-            results[f"{label}/{algorithm}"] = cell
-            # Only the small-working-set regimes carry the >= 5x expectation.
-            if label != "zipf-hot":
-                worst_speedup = min(worst_speedup, speedup)
-    return {
-        "benchmark": "engine-throughput",
-        "num_requests": N_REQUESTS,
-        "worst_small_ws_speedup": round(worst_speedup, 2),
-        "results": results,
-    }
+    return run_engine_benchmark()
 
 
 def main(argv=None) -> int:
@@ -86,16 +35,10 @@ def main(argv=None) -> int:
     out_path = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     report = run_benchmark()
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    for label, cell in report["results"].items():
-        print(
-            f"{label:28s} indexed {cell['indexed_requests_per_second']:>12,.0f} req/s"
-            f"   scan {cell['scan_requests_per_second']:>12,.0f} req/s"
-            f"   speedup {cell['speedup']:>6.2f}x"
-        )
-    print(f"worst small-working-set speedup: {report['worst_small_ws_speedup']}x")
+    print(format_engine_report(report))
     print(f"wrote {out_path}")
     if report["worst_small_ws_speedup"] < 5.0:
-        print("WARNING: speedup below the 5x acceptance threshold", file=sys.stderr)
+        print("WARNING: loop-vs-scan speedup below the 5x acceptance threshold", file=sys.stderr)
         return 1
     return 0
 

@@ -55,8 +55,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import canonicalize_algorithm_spec, make_algorithm
-from ..disksim.executor import simulate
+from ..disksim.executor import canonical_engine, simulate_with_engine
 from ..disksim.instance import ProblemInstance
+from ..disksim.vector import numpy_available, require_numpy, run_batch
 from ..errors import ConfigurationError, PointEvaluationError
 from ..lp.canonical import instance_fingerprint as _canonical_fingerprint
 from ..lp.service import OptimumRecord, OptimumService, SolverConfig
@@ -125,7 +126,7 @@ class ExperimentSpec:
     disks: Tuple[int, ...] = (1,)
     seeds: Tuple[Optional[int], ...] = (None,)
     layouts: Tuple[str, ...] = ("striped",)
-    engine: str = "indexed"
+    engine: str = "loop"
     backend: str = "auto"
     compute_optimum: bool = False
     optimum_method: str = "auto"
@@ -133,6 +134,7 @@ class ExperimentSpec:
     def __post_init__(self):
         SolverConfig(method=self.optimum_method)  # validate eagerly
         resolve_backend_name(self.backend, 0)  # reject unknown backends here
+        object.__setattr__(self, "engine", canonical_engine(self.engine))
         for axis in (
             "workloads", "cache_sizes", "fetch_times", "algorithms",
             "disks", "seeds", "layouts",
@@ -199,7 +201,7 @@ class ExperimentPoint:
     disks: int = 1
     layout: str = "striped"
     algorithm: str = "aggressive"
-    engine: str = "indexed"
+    engine: str = "loop"
     label: Optional[str] = None
     instance: Optional[ProblemInstance] = field(default=None, compare=False)
 
@@ -278,11 +280,13 @@ def point_cache_key(point: ExperimentPoint) -> str:
     """Store key of a point: instance identity x canonical algorithm x engine.
 
     The algorithm identity is the *canonical* spec, so ``delay:3`` and
-    ``delay:d=3`` share entries.
+    ``delay:d=3`` share entries; likewise the engine is canonicalized, so
+    ``engine="indexed"`` and ``engine="loop"`` share entries.
     """
     algorithm = canonicalize_algorithm_spec(point.algorithm)
+    engine = canonical_engine(point.engine)
     return hashlib.sha256(
-        f"{_instance_identity(point)};alg={algorithm};engine={point.engine}".encode()
+        f"{_instance_identity(point)};alg={algorithm};engine={engine}".encode()
     ).hexdigest()
 
 
@@ -324,7 +328,7 @@ def _evaluate_point(point: ExperimentPoint) -> RunRecord:
     try:
         instance = point.build_instance()
         algorithm = make_algorithm(point.algorithm)
-        result = simulate(instance, algorithm, engine=point.engine)
+        result, engine = simulate_with_engine(instance, algorithm, engine=point.engine)
     except Exception as exc:
         raise PointEvaluationError(
             f"experiment point [{point.describe()}] failed: "
@@ -336,8 +340,45 @@ def _evaluate_point(point: ExperimentPoint) -> RunRecord:
         algorithm_spec=point.algorithm,
         workload=point.workload,
         layout=point.recorded_layout(),
-        engine=point.engine,
+        engine=engine,
     )
+
+
+def _evaluate_batch(points: Tuple[ExperimentPoint, ...]) -> List[RunRecord]:
+    """Worker entry: run one vectorizable batch through the vector kernel.
+
+    The planner (:func:`_plan_execution_units`) only submits batches whose
+    points it pre-screened as vector-eligible, but coverage is re-checked
+    per pair inside :func:`~repro.disksim.vector.run_batch`, which falls
+    back to the loop engine for anything the kernel does not handle — each
+    record's ``engine`` field reports what actually ran.  Results come back
+    in submission (grid) order.
+    """
+    try:
+        pairs = [(point.build_instance(), make_algorithm(point.algorithm)) for point in points]
+        outcomes = run_batch(pairs)
+    except Exception as exc:
+        raise PointEvaluationError(
+            f"vector batch of {len(points)} points (first: "
+            f"[{points[0].describe()}]) failed: {type(exc).__name__}: {exc}"
+        ) from exc
+    records = []
+    for point, (instance, _), outcome in zip(points, pairs, outcomes):
+        records.append(
+            RunRecord(
+                point=point.describe(),
+                algorithm=outcome.policy_name,
+                algorithm_spec=point.algorithm,
+                metrics=outcome.metrics,
+                workload=point.workload,
+                cache_size=instance.cache_size,
+                fetch_time=instance.fetch_time,
+                disks=instance.num_disks,
+                layout=point.recorded_layout(),
+                engine=outcome.engine,
+            )
+        )
+    return records
 
 
 def _compute_point_optimum(
@@ -373,7 +414,110 @@ def _run_task(task: Tuple[str, object]):
     kind, payload = task
     if kind == "sim":
         return _evaluate_point(payload)
+    if kind == "simbatch":
+        return _evaluate_batch(payload)
     return _compute_point_optimum(payload)
+
+
+# ---------------------------------------------------------------------------------
+# vector batch planning
+# ---------------------------------------------------------------------------------
+
+#: Algorithm families the vector kernel covers (single-disk plans only);
+#: everything else falls back to the loop engine.
+_VECTOR_FAMILIES = frozenset({"aggressive", "delay", "combination"})
+
+#: A same-shape group smaller than this is not worth a stacked kernel pass
+#: (the numpy setup overhead eats the win); its points run as ordinary
+#: per-point tasks instead.
+MIN_VECTOR_BATCH = 8
+
+#: Ceiling on points per stacked pass: keeps worker task sizes (and the
+#: kernel's working set) bounded so process backends still load-balance.
+MAX_VECTOR_BATCH = 512
+
+
+def _vector_eligible(point: ExperimentPoint) -> bool:
+    """Cheap pre-screen: could the vector kernel cover this point?
+
+    Positive answers are re-validated pair-by-pair inside
+    :func:`~repro.disksim.vector.run_batch` (which degrades to the loop
+    engine); a negative answer just routes the point to a per-point task.
+    """
+    if point.disks != 1:
+        return False
+    family = canonicalize_algorithm_spec(point.algorithm).split(":", 1)[0]
+    return family in _VECTOR_FAMILIES
+
+
+def _vector_bucket_key(point: ExperimentPoint) -> Tuple[object, ...]:
+    """Shape-bucket key: points sharing it stack into one kernel pass.
+
+    Spec-described points bucket by their workload spec with the seed
+    normalised away (same family and parameters ⇒ same sequence length and
+    block universe size), prebuilt instances by their materialised shape —
+    plus ``k``, ``F`` and the canonical algorithm, so one batch is "the same
+    grid point at many seeds", the common case of a ratio sweep.
+    """
+    if point.workload is not None:
+        spec = point.workload
+        if workload_accepts(spec, "seed"):
+            spec = with_spec_params(spec, seed=0)
+        shape = f"spec={spec}"
+    else:
+        instance = point.build_instance()  # prebuilt: already materialised
+        shape = f"n={instance.num_requests};blocks={len(instance.sequence.distinct_blocks)}"
+    return (
+        shape,
+        point.cache_size,
+        point.fetch_time,
+        canonicalize_algorithm_spec(point.algorithm),
+    )
+
+
+def _plan_execution_units(pending):
+    """Group pending ``(position, point, key)`` triples into execution units.
+
+    Returns ``[(kind, items), ...]`` where ``kind`` is ``"sim"`` (one item,
+    one :func:`_evaluate_point` task) or ``"simbatch"`` (one stacked
+    :func:`_evaluate_batch` task for a same-shape bucket).  Every pending
+    triple lands in exactly one unit; units appear in first-occurrence grid
+    order and each bucket keeps its items in grid order, so zipping the
+    streamed results against the units reproduces the serial order exactly.
+    Buckets smaller than :data:`MIN_VECTOR_BATCH` are demoted to per-point
+    tasks, buckets larger than :data:`MAX_VECTOR_BATCH` are chunked.  With
+    numpy unavailable, ``engine="vector"`` points raise
+    :class:`~repro.errors.ConfigurationError` here — before any worker
+    starts — while ``engine="auto"`` points degrade to loop tasks silently.
+    """
+    have_numpy = numpy_available()
+    units = []
+    buckets: Dict[Tuple[object, ...], List] = {}
+    for item in pending:
+        _position, point, _key = item
+        engine = canonical_engine(point.engine)
+        if engine == "vector" and not have_numpy:
+            require_numpy()
+        if engine in ("vector", "auto") and have_numpy and _vector_eligible(point):
+            bucket = _vector_bucket_key(point)
+            group = buckets.get(bucket)
+            if group is None:
+                group = buckets[bucket] = [item]
+                units.append(("simbatch", group))
+            else:
+                group.append(item)
+        else:
+            units.append(("sim", [item]))
+    planned = []
+    for kind, items in units:
+        if kind == "sim" or len(items) < MIN_VECTOR_BATCH:
+            planned.extend(("sim", [item]) for item in items)
+        else:
+            planned.extend(
+                ("simbatch", items[start:start + MAX_VECTOR_BATCH])
+                for start in range(0, len(items), MAX_VECTOR_BATCH)
+            )
+    return planned
 
 
 # ---------------------------------------------------------------------------------
@@ -457,7 +601,12 @@ def _execute_points(
     # in-memory cache, `solves` accounting) is right there — route the
     # solves through it directly instead of opening a store per task.
     direct_optimum = optimum is not None and isinstance(backend, SerialBackend)
-    tasks: List[Tuple[str, object]] = [("sim", point) for _, point, _ in pending]
+    units = _plan_execution_units(pending)
+    tasks: List[Tuple[str, object]] = [
+        ("sim", items[0][1]) if kind == "sim"
+        else ("simbatch", tuple(item[1] for item in items))
+        for kind, items in units
+    ]
     if not direct_optimum:
         tasks.extend(
             ("opt", (representative[identity], optimum.config, store_path))
@@ -468,11 +617,15 @@ def _execute_points(
     if tasks:
         results = backend.map(_run_task, tasks)
         # Simulation results stream back first (submission order); persist
-        # each one immediately so an interrupted run loses no progress.
-        for (position, _point, key), record in zip(pending, results):
-            records[position] = record
-            if store is not None:
-                store.put_run(key, record)
+        # each one immediately so an interrupted run loses no progress.  A
+        # "sim" unit yields one record, a "simbatch" unit one record per
+        # point (in the unit's grid order).
+        for (kind, items), result in zip(units, results):
+            unit_records = [result] if kind == "sim" else result
+            for (position, _point, key), record in zip(items, unit_records):
+                records[position] = record
+                if store is not None:
+                    store.put_run(key, record)
         solved = list(results)
     if direct_optimum:
         solved = [
@@ -636,7 +789,7 @@ def evaluate_instances(
     *,
     workers: int = 0,
     backend: str = "auto",
-    engine: str = "indexed",
+    engine: str = "loop",
     cache_dir=None,
     store: Optional[RunStore] = None,
     compute_optimum: bool = False,

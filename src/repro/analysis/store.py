@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..disksim.executor import canonical_engine
 from ..errors import StoreError
 from ..lp.service import OptimumRecord
 from .results import RunRecord
@@ -74,6 +75,7 @@ CREATE TABLE IF NOT EXISTS runs (
 CREATE INDEX IF NOT EXISTS idx_runs_workload  ON runs (workload);
 CREATE INDEX IF NOT EXISTS idx_runs_algorithm ON runs (algorithm_spec);
 CREATE INDEX IF NOT EXISTS idx_runs_layout    ON runs (layout);
+CREATE INDEX IF NOT EXISTS idx_runs_engine    ON runs (engine);
 CREATE TABLE IF NOT EXISTS optima (
     fingerprint TEXT PRIMARY KEY,
     solver_key  TEXT NOT NULL,
@@ -161,10 +163,41 @@ class RunStore:
             self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
             with self._conn:
                 self._conn.executescript(_SCHEMA)
+            self._migrate_legacy_engines()
         except sqlite3.Error as exc:
             # Surface as a library error so the CLI exits cleanly instead of
             # dumping a traceback when the file is corrupt or not SQLite.
             raise StoreError(f"cannot open run store at {self.path}: {exc}") from exc
+
+    def _migrate_legacy_engines(self) -> None:
+        """Rename the legacy ``'indexed'`` engine label to ``'loop'`` in place.
+
+        Rows written before the engine axis grew the ``vector`` path carry
+        ``engine='indexed'`` in both the indexed column and the JSON body.
+        Per-engine stats and queries group by the canonical name, so the
+        store rewrites such rows once at open time (idempotent: later opens
+        find nothing to do).  A body that no longer parses keeps its bytes
+        — only the column is fixed — matching ``get_run``'s treatment of
+        corrupt rows as cache misses.
+        """
+        rows = self._conn.execute(
+            "SELECT key, record FROM runs WHERE engine = 'indexed'"
+        ).fetchall()
+        if not rows:
+            return
+        updates = []
+        for key, body in rows:
+            try:
+                payload = json.loads(body)
+                payload["engine"] = "loop"
+                body = json.dumps(payload, sort_keys=True)
+            except (json.JSONDecodeError, TypeError, ValueError):
+                pass
+            updates.append((body, key))
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE runs SET engine = 'loop', record = ? WHERE key = ?", updates
+            )
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -255,8 +288,10 @@ class RunStore:
     ) -> List[RunRecord]:
         """Records matching the given identity columns (indexed lookups).
 
-        ``algorithm`` matches either the resolved name or the spec string.
-        Results come back in deterministic (key) order.
+        ``algorithm`` matches either the resolved name or the spec string;
+        ``engine`` accepts any canonical engine name or alias (querying for
+        ``"indexed"`` finds the migrated ``"loop"`` rows).  Results come
+        back in deterministic (key) order.
         """
         clauses, params = [], []
         if workload is not None:
@@ -270,7 +305,7 @@ class RunStore:
             params.append(layout)
         if engine is not None:
             clauses.append("engine = ?")
-            params.append(engine)
+            params.append(canonical_engine(engine))
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
         with self._guarded():
             rows = self._conn.execute(
@@ -425,7 +460,7 @@ class RunStore:
         """Aggregate store statistics (the ``repro store stats`` payload)."""
         count = lambda sql, *params: self._conn.execute(sql, params).fetchone()[0]
         with self._guarded():
-            return {
+            payload: Dict[str, object] = {
                 "path": str(self.path),
                 "size_bytes": self.path.stat().st_size if self.path.exists() else 0,
                 "runs": count("SELECT COUNT(*) FROM runs"),
@@ -441,6 +476,13 @@ class RunStore:
                     "SELECT COUNT(*) FROM sweep_points WHERE status != 'done'"
                 ),
             }
+            # One ``runs_engine_<name>`` column per engine that produced at
+            # least one stored record (post-migration: never 'indexed').
+            for name, num in self._conn.execute(
+                "SELECT engine, COUNT(*) FROM runs GROUP BY engine ORDER BY engine"
+            ).fetchall():
+                payload[f"runs_engine_{name}"] = num
+            return payload
 
     def gc(self) -> Dict[str, int]:
         """Drop completed sweep manifests and compact the database file.

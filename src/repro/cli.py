@@ -24,6 +24,9 @@ Commands
 ``lowerbound``— build the Theorem 2 adversarial instance and report
                 Aggressive's measured ratio next to the theoretical bound.
 ``bounds``    — print the Section 2 bound formulas for a (k, F) grid.
+``bench``     — run the repository microbenchmarks; ``bench engine`` measures
+                loop/scan/vector-batch throughput and, with ``--gate``,
+                enforces the stored perf floor (exit 1 on regression).
 
 Workload and algorithm specs share the grammar ``name[:key=value,...]``
 (``zipf:n=200,blocks=50,skew=0.8``, ``delay:d=3``, ``demand:evict=lru``) so
@@ -60,7 +63,7 @@ from .analysis.runner import ExperimentSpec, prepare_sweep, run_experiments
 from .analysis.store import RunStore, store_path_for
 from .analysis.results import ResultSet
 from .core.bounds import SingleDiskBounds
-from .disksim.executor import simulate
+from .disksim.executor import simulate, simulate_with_engine
 from .disksim.instance import ProblemInstance
 from .errors import ConfigurationError, ReproError
 from .viz.gantt import render_gantt
@@ -117,9 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(LAYOUT_BUILDERS),
                        help="block placement when --disks > 1")
 
+    _ENGINE_CHOICES = ["auto", "loop", "indexed", "scan", "vector"]
+
     p_sim = sub.add_parser("simulate", help="run one algorithm and print metrics")
     add_common(p_sim)
     p_sim.add_argument("--algorithm", "-a", default="aggressive")
+    p_sim.add_argument("--engine", default="loop", choices=_ENGINE_CHOICES,
+                       help="simulation engine (loop = the indexed event loop; "
+                       "vector = the numpy batch kernel, falling back to loop "
+                       "where uncovered; auto = vector when available)")
     p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p_sim.add_argument("--timeline", action="store_true", help="print the event timeline")
 
@@ -165,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", default="auto", choices=BACKEND_NAMES,
                        help="execution backend for the grid points "
                        "(auto = serial at workers<=1, process fan-out otherwise)")
+        p.add_argument("--engine", default="loop",
+                       choices=["auto", "loop", "indexed", "scan", "vector"],
+                       help="simulation engine; vector/auto let the planner "
+                       "stack same-shape points into batched kernel passes "
+                       "(uncovered points fall back to the loop engine)")
         p.add_argument("--cache-dir", default=None,
                        help="directory for the run store (a single SQLite file, "
                        "runs.sqlite, holding records, optima and sweep manifests)")
@@ -248,15 +262,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument("--cache-sizes", default="8,16,32,64")
     p_bounds.add_argument("--fetch-times", default="2,4,8,16")
 
+    p_bench = sub.add_parser(
+        "bench", help="run the repository's microbenchmarks"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_engine = bench_sub.add_parser(
+        "engine",
+        help="engine throughput benchmark (loop vs scan vs vector batch), "
+        "optionally enforced as a perf gate",
+    )
+    p_bench_engine.add_argument("--num-requests", type=int, default=None,
+                                help="requests per instance (default: the "
+                                "BENCH_engine grid, or the floor file's under --gate)")
+    p_bench_engine.add_argument("--batch-size", type=int, default=None,
+                                help="instances per stacked vector pass (default: "
+                                "the BENCH_engine grid, or the floor file's under --gate)")
+    p_bench_engine.add_argument("--reps", type=int, default=3,
+                                help="best-of repetitions per timed cell")
+    p_bench_engine.add_argument("--no-scan", action="store_true",
+                                help="skip the (slow, quadratic) scan reference rows")
+    p_bench_engine.add_argument("--json", dest="json_path", default=None,
+                                help="write the report as JSON to this path")
+    p_bench_engine.add_argument("--gate", action="store_true",
+                                help="enforce the perf gate: exit 1 if any cell's "
+                                "vector-batch throughput is below the stored floor "
+                                "or below 5x the loop engine")
+    p_bench_engine.add_argument("--floor", default=None,
+                                help="gate floor file (default with --gate: "
+                                "./BENCH_engine_floor.json if present)")
+
     return parser
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     instance = _make_instance(args)
     algorithm = make_algorithm(args.algorithm)
-    result = simulate(instance, algorithm)
+    result, engine = simulate_with_engine(instance, algorithm, engine=args.engine)
     print(f"instance: {instance.describe()}")
     print(f"algorithm: {result.policy_name}")
+    if engine != args.engine:
+        print(f"engine: {engine} (requested {args.engine})")
     rows = [result.metrics.as_dict()]
     print(format_table(rows, columns=[
         "num_requests", "stall_time", "elapsed_time", "num_fetches",
@@ -310,6 +355,7 @@ def _grid_spec(args: argparse.Namespace, **extra) -> ExperimentSpec:
         layouts=tuple(l.strip() for l in args.layouts.split(",") if l.strip()),
         algorithms=tuple(_split_specs(args.algorithms)),
         seeds=seeds,
+        engine=args.engine,
         backend=args.backend,
         **extra,
     )
@@ -455,6 +501,41 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis import enginebench
+
+    floor = None
+    if args.floor is not None:
+        floor = enginebench.load_floor(args.floor)
+    elif args.gate and Path("BENCH_engine_floor.json").exists():
+        floor = enginebench.load_floor("BENCH_engine_floor.json")
+    # Under --gate the floor file pins the grid it was calibrated on; explicit
+    # options still win so a mismatch fails loudly in gate_failures.
+    pinned = floor or {}
+    num_requests = args.num_requests or pinned.get("num_requests") or enginebench.N_REQUESTS
+    batch_size = args.batch_size or pinned.get("batch_size") or enginebench.BATCH_SIZE
+    report = enginebench.run_engine_benchmark(
+        num_requests=num_requests,
+        batch_size=batch_size,
+        include_scan=not args.no_scan,
+        reps=args.reps,
+    )
+    print(enginebench.format_engine_report(report))
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json_module.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote JSON to {args.json_path}")
+    if args.gate:
+        failures = enginebench.gate_failures(report, floor)
+        for failure in failures:
+            print(f"PERF GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("perf gate passed")
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     cache_sizes = [int(v) for v in args.cache_sizes.split(",") if v]
     fetch_times = [int(v) for v in args.fetch_times.split(",") if v]
@@ -480,6 +561,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "algorithms": _cmd_algorithms,
         "lowerbound": _cmd_lowerbound,
         "bounds": _cmd_bounds,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -14,15 +14,25 @@ from .executor import (
     PolicyView,
     PrefetchPolicy,
     SimulationResult,
+    canonical_engine,
     execute_interval_schedule,
     execute_schedule,
     simulate,
+    simulate_with_engine,
 )
 from .index import EvictionHeap, MissTracker, SequenceIndex
 from .instance import ProblemInstance
 from .metrics import SimMetrics
 from .schedule import IntervalFetch, IntervalSchedule, Schedule, TimedFetch
 from .sequence import RequestSequence
+from .vector import (
+    BatchOutcome,
+    numpy_available,
+    require_numpy,
+    run_batch,
+    simulate_batch,
+    simulate_vector,
+)
 
 __all__ = [
     "CacheState",
@@ -34,9 +44,17 @@ __all__ = [
     "PolicyView",
     "PrefetchPolicy",
     "SimulationResult",
+    "canonical_engine",
     "execute_interval_schedule",
     "execute_schedule",
     "simulate",
+    "simulate_with_engine",
+    "BatchOutcome",
+    "numpy_available",
+    "require_numpy",
+    "run_batch",
+    "simulate_batch",
+    "simulate_vector",
     "EvictionHeap",
     "MissTracker",
     "SequenceIndex",

@@ -72,12 +72,34 @@ __all__ = [
     "PolicyView",
     "PrefetchPolicy",
     "SimulationResult",
+    "canonical_engine",
     "simulate",
+    "simulate_with_engine",
     "execute_schedule",
     "execute_interval_schedule",
 ]
 
-_ENGINES = ("indexed", "scan")
+_ENGINES = ("loop", "scan", "vector", "auto")
+_ENGINE_ALIASES = {"indexed": "loop"}
+
+
+def canonical_engine(engine: str) -> str:
+    """Resolve an engine name (or alias) to its canonical form.
+
+    ``"loop"`` is the indexed event loop (the historical name ``"indexed"``
+    is accepted as an alias), ``"scan"`` the scan-query reference
+    implementation, ``"vector"`` the numpy struct-of-arrays batch engine and
+    ``"auto"`` picks the fastest applicable engine at run time (vector when
+    numpy is importable and the instance/policy is covered, loop otherwise).
+    Raises :class:`~repro.errors.ConfigurationError` for anything else.
+    """
+    name = _ENGINE_ALIASES.get(engine, engine)
+    if name not in _ENGINES:
+        choices = _ENGINES + tuple(_ENGINE_ALIASES)
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {choices}"
+        )
+    return name
 
 
 @dataclass(frozen=True)
@@ -334,17 +356,19 @@ class SimulationResult:
 class _EngineState:
     """Mutable engine internals shared by the execution entry points.
 
-    With ``engine="indexed"`` the state owns the per-instance
-    :class:`SequenceIndex` (built once, cached across runs) and an
-    :class:`EvictionHeap` mirroring the resident set, maintained
-    incrementally by the fetch lifecycle methods below.
+    With ``engine="loop"`` (the indexed event loop) the state owns the
+    per-instance :class:`SequenceIndex` (built once, cached across runs) and
+    an :class:`EvictionHeap` mirroring the resident set, maintained
+    incrementally by the fetch lifecycle methods below.  ``"vector"`` and
+    ``"auto"`` degrade to ``"loop"`` here: the event loop is the replay/
+    fallback engine the vector kernel defers to for anything it does not
+    cover.
     """
 
-    def __init__(self, instance: ProblemInstance, capacity: int, engine: str = "indexed"):
-        if engine not in _ENGINES:
-            raise ConfigurationError(
-                f"unknown engine {engine!r}; expected one of {_ENGINES}"
-            )
+    def __init__(self, instance: ProblemInstance, capacity: int, engine: str = "loop"):
+        engine = canonical_engine(engine)
+        if engine in ("vector", "auto"):
+            engine = "loop"
         self.instance = instance
         self.cache = CacheState(capacity, instance.initial_cache)
         self.in_flight: Dict[DiskId, Tuple[BlockId, int]] = {}
@@ -359,7 +383,7 @@ class _EngineState:
         self.peak_used = self.cache.used_slots
         self.fetches_per_disk: Dict[DiskId, int] = {}
         self.first_look_resident: Dict[int, bool] = {}
-        if engine == "indexed":
+        if engine == "loop":
             self.index: Optional[SequenceIndex] = SequenceIndex.for_parts(
                 instance.sequence, instance.layout
             )
@@ -833,7 +857,7 @@ def simulate(
     instance: ProblemInstance,
     policy: PrefetchPolicy,
     *,
-    engine: str = "indexed",
+    engine: str = "loop",
 ) -> SimulationResult:
     """Run ``policy`` over ``instance`` and return the resulting schedule and metrics.
 
@@ -844,17 +868,53 @@ def simulate(
     produces a feasible schedule; such fetches are counted in
     ``metrics.num_demand_fetches``.
 
-    ``engine`` selects the query backend: ``"indexed"`` (default) consults
-    the precomputed :class:`SequenceIndex`/:class:`EvictionHeap`;
-    ``"scan"`` re-derives every query by scanning the sequence, exactly as
-    the seed engine did — both produce identical schedules and metrics (the
-    equivalence test suite asserts this), the indexed engine is just
-    asymptotically faster.
+    ``engine`` selects the implementation: ``"loop"`` (default; historical
+    alias ``"indexed"``) runs the event loop over the precomputed
+    :class:`SequenceIndex`/:class:`EvictionHeap`; ``"scan"`` re-derives every
+    query by scanning the sequence, exactly as the seed engine did;
+    ``"vector"`` runs the numpy struct-of-arrays kernel of
+    :mod:`repro.disksim.vector` (requires the ``[vector]`` extra, falls back
+    to the loop for instances/policies it does not cover); ``"auto"`` is
+    vector-when-possible, loop otherwise.  All engines produce identical
+    schedules and metrics — the equivalence suites assert this.
     """
+    result, _ = simulate_with_engine(instance, policy, engine=engine)
+    return result
+
+
+def simulate_with_engine(
+    instance: ProblemInstance,
+    policy: PrefetchPolicy,
+    *,
+    engine: str = "loop",
+) -> Tuple[SimulationResult, str]:
+    """Like :func:`simulate`, but also report which engine actually ran.
+
+    Returns ``(result, actual_engine)`` where ``actual_engine`` is the
+    canonical name of the engine that produced the result (``"loop"``,
+    ``"scan"`` or ``"vector"``) — callers recording provenance (the sweep
+    runner's :class:`~repro.analysis.results.RunRecord`) need the realised
+    engine, not the requested one, because ``"vector"`` silently falls back
+    to the loop for uncovered instances/policies and ``"auto"`` resolves at
+    run time.  ``engine="vector"`` raises
+    :class:`~repro.errors.ConfigurationError` when numpy is not importable;
+    ``engine="auto"`` degrades to the loop silently.
+    """
+    engine = canonical_engine(engine)
+    if engine in ("vector", "auto"):
+        from . import vector as _vector
+
+        if engine == "vector":
+            _vector.require_numpy()
+        if _vector.numpy_available():
+            result = _vector.simulate_vector(instance, policy)
+            if result is not None:
+                return result, "vector"
+        engine = "loop"
     state = _EngineState(instance, instance.cache_size, engine=engine)
     policy.reset(instance)
     _run_event_loop(state, _PolicyDriver(policy))
-    return state.result(getattr(policy, "name", type(policy).__name__))
+    return state.result(getattr(policy, "name", type(policy).__name__)), engine
 
 
 # ---------------------------------------------------------------------------------
@@ -867,7 +927,7 @@ def execute_schedule(
     schedule: Schedule,
     *,
     capacity_override: Optional[int] = None,
-    engine: str = "indexed",
+    engine: str = "loop",
 ) -> SimulationResult:
     """Replay a clock-anchored schedule, validating feasibility and measuring stall.
 
@@ -896,7 +956,7 @@ def execute_interval_schedule(
     schedule: IntervalSchedule,
     *,
     capacity_override: Optional[int] = None,
-    engine: str = "indexed",
+    engine: str = "loop",
 ) -> SimulationResult:
     """Replay a position-anchored schedule (LP output), measuring its actual stall.
 
@@ -929,7 +989,7 @@ def _execute_with_replay(
     by_time: Dict[int, List[FetchDecision]],
     positional: List[Tuple[int, int, FetchDecision]],
     capacity_override: Optional[int],
-    engine: str = "indexed",
+    engine: str = "loop",
 ) -> SimulationResult:
     capacity = capacity_override if capacity_override is not None else instance.cache_size
     state = _EngineState(instance, capacity, engine=engine)

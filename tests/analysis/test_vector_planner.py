@@ -1,0 +1,185 @@
+"""Tests for the shape-bucketing planner and the runner's vector path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.disksim.vector as vector_module
+from repro.analysis.runner import (
+    MAX_VECTOR_BATCH,
+    MIN_VECTOR_BATCH,
+    ExperimentSpec,
+    _plan_execution_units,
+    point_cache_key,
+    run_experiments,
+)
+from repro.disksim import numpy_available
+from repro.errors import ConfigurationError
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy unavailable: vector engine cannot run"
+)
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="planner-t",
+        workloads=("zipf:n=30,blocks=8",),
+        cache_sizes=(4,),
+        fetch_times=(3,),
+        algorithms=("aggressive",),
+        seeds=tuple(range(10)),
+        engine="vector",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def _pending(spec):
+    points = spec.points()
+    return [(position, point, point_cache_key(point)) for position, point in enumerate(points)]
+
+
+def _no_numpy(monkeypatch):
+    """Make the lazy numpy probe report 'not installed'."""
+    monkeypatch.setattr(vector_module, "_np", None)
+    monkeypatch.setattr(vector_module, "_np_checked", True)
+
+
+# -- partition properties ----------------------------------------------------------
+
+
+@needs_numpy
+@settings(max_examples=30, deadline=None)
+@given(
+    workloads=st.lists(
+        st.sampled_from(
+            ["zipf:n=30,blocks=8", "zipf:n=24,blocks=6", "uniform:n=30,blocks=8"]
+        ),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    cache_sizes=st.lists(st.integers(min_value=2, max_value=8), min_size=1, max_size=2, unique=True),
+    algorithms=st.lists(
+        st.sampled_from(["aggressive", "delay:d=2", "combination", "conservative", "demand"]),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    num_seeds=st.integers(min_value=1, max_value=12),
+    engine=st.sampled_from(["vector", "auto", "loop"]),
+)
+def test_every_pending_point_lands_in_exactly_one_unit(
+    workloads, cache_sizes, algorithms, num_seeds, engine
+):
+    """Property: the planner partitions the grid — no point dropped, none duplicated."""
+    spec = _spec(
+        workloads=tuple(workloads),
+        cache_sizes=tuple(cache_sizes),
+        algorithms=tuple(algorithms),
+        seeds=tuple(range(num_seeds)),
+        engine=engine,
+    )
+    pending = _pending(spec)
+    units = _plan_execution_units(pending)
+    flattened = [item for _kind, items in units for item in items]
+    assert sorted(position for position, _p, _k in flattened) == list(range(len(pending)))
+    assert {id(item) for item in flattened} == {id(item) for item in pending}
+    for kind, items in units:
+        if kind == "sim":
+            assert len(items) == 1
+        else:
+            assert MIN_VECTOR_BATCH <= len(items) <= MAX_VECTOR_BATCH
+            # A stacked unit holds one shape bucket, in grid order.
+            assert [p for p, _point, _k in items] == sorted(p for p, _point, _k in items)
+    if engine == "loop":
+        assert all(kind == "sim" for kind, _items in units)
+
+
+@needs_numpy
+def test_small_buckets_demote_to_per_point_tasks():
+    spec = _spec(seeds=tuple(range(MIN_VECTOR_BATCH - 1)))
+    units = _plan_execution_units(_pending(spec))
+    assert all(kind == "sim" for kind, _items in units)
+    spec = _spec(seeds=tuple(range(MIN_VECTOR_BATCH)))
+    units = _plan_execution_units(_pending(spec))
+    assert [kind for kind, _items in units] == ["simbatch"]
+
+
+@needs_numpy
+def test_oversized_buckets_chunk_at_the_batch_ceiling():
+    spec = _spec(seeds=tuple(range(MAX_VECTOR_BATCH + 5)))
+    units = _plan_execution_units(_pending(spec))
+    assert [kind for kind, _items in units] == ["simbatch", "simbatch"]
+    assert [len(items) for _kind, items in units] == [MAX_VECTOR_BATCH, 5]
+
+
+@needs_numpy
+def test_ineligible_points_run_per_point():
+    """Uncovered families and parallel-disk points never enter a bucket."""
+    spec = _spec(algorithms=("aggressive", "conservative"), seeds=tuple(range(8)))
+    units = _plan_execution_units(_pending(spec))
+    kinds = {}
+    for kind, items in units:
+        for _position, point, _key in items:
+            kinds.setdefault(point.algorithm, set()).add(kind)
+    assert kinds["aggressive"] == {"simbatch"}
+    assert kinds["conservative"] == {"sim"}
+
+
+# -- runner equivalence ------------------------------------------------------------
+
+
+def _normalized(result_set):
+    """Record dumps with the engine provenance normalized away."""
+    out = []
+    for record in result_set.records:
+        payload = record.to_json_dict()
+        payload["engine"] = "<engine>"
+        out.append(json.dumps(payload, sort_keys=True))
+    return out
+
+
+@needs_numpy
+def test_run_experiments_vector_matches_loop_modulo_engine():
+    """Batched grid output == serial loop grid output, in the same order."""
+    grid = dict(
+        workloads=("zipf:n=40,blocks=10",),
+        algorithms=("aggressive", "delay:d=3", "conservative"),
+        seeds=tuple(range(9)),
+    )
+    loop = run_experiments(_spec(engine="loop", **grid))
+    vector = run_experiments(_spec(engine="vector", **grid))
+    assert _normalized(vector) == _normalized(loop)
+    by_algorithm = {}
+    for record in vector.records:
+        by_algorithm.setdefault(record.algorithm_spec, set()).add(record.engine)
+    assert by_algorithm["aggressive"] == {"vector"}
+    assert by_algorithm["delay:d=3"] == {"vector"}
+    assert by_algorithm["conservative"] == {"loop"}  # per-point fallback
+
+
+# -- graceful degradation without numpy --------------------------------------------
+
+
+def test_explicit_vector_without_numpy_fails_before_dispatch(monkeypatch):
+    _no_numpy(monkeypatch)
+    with pytest.raises(ConfigurationError, match=r"\[vector\]"):
+        run_experiments(_spec(engine="vector"))
+
+
+def test_auto_without_numpy_silently_runs_the_loop_engine(monkeypatch):
+    _no_numpy(monkeypatch)
+    results = run_experiments(_spec(engine="auto", seeds=tuple(range(4))))
+    assert {record.engine for record in results.records} == {"loop"}
+
+
+@needs_numpy
+def test_auto_with_numpy_prefers_the_vector_engine():
+    results = run_experiments(_spec(engine="auto", seeds=tuple(range(MIN_VECTOR_BATCH))))
+    assert {record.engine for record in results.records} == {"vector"}

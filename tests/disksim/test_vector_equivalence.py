@@ -1,0 +1,191 @@
+"""Vector engine vs the loop engine: byte-identical results.
+
+The struct-of-arrays batch engine (``engine="vector"``) must be a pure
+performance transformation of the loop engine, exactly as the loop engine is
+of the scan engine: on every covered instance and policy the
+:class:`SimMetrics` and the :class:`Schedule` — every fetch, start time,
+block and victim — must match exactly, and a :class:`RunRecord` produced
+through the vector path must serialize to the same bytes as the loop path
+(the ``engine`` provenance field is the one permitted difference; these
+tests normalize it before comparing).  Mirrors the 225-instance
+indexed-vs-scan oracle in ``test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import random_instance
+from repro.algorithms import (
+    Aggressive,
+    Combination,
+    Conservative,
+    Delay,
+    DemandFetch,
+    ParallelAggressive,
+)
+from repro.algorithms.registry import make_algorithm
+from repro.analysis.runner import evaluate_instances
+from repro.disksim import (
+    ProblemInstance,
+    RequestSequence,
+    numpy_available,
+    run_batch,
+    simulate,
+    simulate_batch,
+    simulate_vector,
+    simulate_with_engine,
+)
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy unavailable: vector engine cannot run"
+)
+
+# The same five single-disk families as the indexed-vs-scan oracle: the
+# kernel natively covers Aggressive/Delay/Combination and must *fall back*
+# (not diverge) on Conservative/DemandFetch.
+SINGLE_DISK_FACTORIES = (
+    lambda seed: Aggressive(),
+    lambda seed: Conservative(),
+    lambda seed: Delay(seed % 11),
+    lambda seed: Combination(),
+    lambda seed: DemandFetch(),
+)
+
+#: Every registered single-disk-capable algorithm spec (both Aggressive
+#: tie-breaks, two Delay depths, Combination and the two fallback families).
+ALL_SPECS = (
+    "aggressive",
+    "aggressive:tiebreak=low",
+    "delay:d=2",
+    "delay:d=7",
+    "combination",
+    "conservative",
+    "demand",
+)
+
+
+def _assert_fetches_identical(left, right, context):
+    """Schedule equality plus per-fetch block/victim (TimedFetch.__eq__ skips them)."""
+    assert left.schedule == right.schedule, f"schedules diverge ({context})"
+    for ours, theirs in zip(left.schedule.fetches, right.schedule.fetches):
+        assert ours.block == theirs.block, f"fetched blocks diverge ({context})"
+        assert ours.victim == theirs.victim, f"victims diverge ({context})"
+
+
+def _assert_equivalent(instance, policy_factory, seed):
+    loop = simulate(instance, policy_factory(seed), engine="loop")
+    vector, engine = simulate_with_engine(instance, policy_factory(seed), engine="vector")
+    _assert_fetches_identical(vector, loop, f"seed {seed}, engine {engine}")
+    assert vector.metrics == loop.metrics, f"metrics diverge (seed {seed})"
+
+
+@pytest.mark.parametrize("seed", range(150))
+def test_single_disk_equivalence(seed):
+    """150 single-disk instances, two policy families each (rotating)."""
+    instance = random_instance(seed)
+    _assert_equivalent(instance, SINGLE_DISK_FACTORIES[seed % 5], seed)
+    _assert_equivalent(instance, SINGLE_DISK_FACTORIES[(seed + 2) % 5], seed)
+
+
+@pytest.mark.parametrize("seed", range(150, 225, 3))
+def test_parallel_disk_instances_fall_back(seed):
+    """The kernel never claims parallel-disk instances; the fallback matches."""
+    instance = random_instance(seed, parallel=True)
+    assert simulate_vector(instance, ParallelAggressive()) is None
+    result, engine = simulate_with_engine(instance, ParallelAggressive(), engine="vector")
+    assert engine == "loop"
+    reference = simulate(instance, ParallelAggressive(), engine="loop")
+    _assert_fetches_identical(result, reference, f"seed {seed}")
+    assert result.metrics == reference.metrics
+
+
+def test_simulate_batch_matches_serial_simulation():
+    """One stacked pass over many same-shape instances == one-by-one loop runs."""
+    instances = [random_instance(seed) for seed in (3, 9, 21, 33)]
+    for spec in ("aggressive", "delay:d=4"):
+        outcomes = simulate_batch(instances, spec, schedules=True)
+        assert [o.engine for o in outcomes] == ["vector"] * len(instances)
+        for instance, outcome in zip(instances, outcomes):
+            reference = simulate(instance, make_algorithm(spec), engine="loop")
+            assert outcome.metrics == reference.metrics
+            _assert_fetches_identical(outcome, reference, instance.sequence[0])
+
+
+def test_run_batch_mixes_covered_and_fallback_pairs():
+    """Per-pair fallback inside one batch: covered rows vector, the rest loop."""
+    instance = random_instance(5)
+    pairs = [
+        (instance, Aggressive()),
+        (instance, Conservative()),
+        (instance, Delay(3)),
+        (instance, DemandFetch()),
+    ]
+    outcomes = run_batch(pairs)
+    assert [o.engine for o in outcomes] == ["vector", "loop", "vector", "loop"]
+    for (inst, policy), outcome in zip(
+        [(instance, Aggressive()), (instance, Conservative()),
+         (instance, Delay(3)), (instance, DemandFetch())],
+        outcomes,
+    ):
+        assert outcome.metrics == simulate(inst, policy, engine="loop").metrics
+
+
+def _normalized_json(result_set):
+    """Sorted-key record dumps with the engine provenance field normalized."""
+    dumps = []
+    for record in result_set.records:
+        payload = record.to_json_dict()
+        payload["engine"] = "<engine>"
+        dumps.append(json.dumps(payload, sort_keys=True))
+    return dumps
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+def test_run_records_byte_identical_across_engines(warm):
+    """Acceptance: vector RunRecords == loop RunRecords, byte for byte.
+
+    All seven algorithm specs over warm- and cold-cache instances; the
+    ``engine`` field is the one permitted difference and is normalized on
+    both sides before comparing.
+    """
+    labeled = []
+    for seed in (2, 4, 11):
+        instance = random_instance(seed if warm else seed + 1)
+        if not warm:
+            instance = ProblemInstance.single_disk(
+                instance.sequence,
+                cache_size=instance.cache_size,
+                fetch_time=instance.fetch_time,
+            )
+        labeled.append((f"inst{seed}", instance))
+    loop = evaluate_instances(labeled, ALL_SPECS, engine="loop")
+    vector = evaluate_instances(labeled, ALL_SPECS, engine="vector")
+    assert _normalized_json(vector) == _normalized_json(loop)
+    engines = {record.engine for record in vector.records}
+    assert "vector" in engines  # the covered families really took the kernel
+    assert {record.engine for record in loop.records} == {"loop"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=9), min_size=3, max_size=40),
+    cache_size=st.integers(min_value=2, max_value=6),
+    fetch_time=st.integers(min_value=1, max_value=7),
+    delay=st.integers(min_value=0, max_value=9),
+)
+def test_property_equivalence_on_arbitrary_sequences(blocks, cache_size, fetch_time, delay):
+    instance = ProblemInstance.single_disk(
+        RequestSequence(blocks), cache_size=cache_size, fetch_time=fetch_time
+    )
+    for policy_factory in (
+        lambda s: Aggressive(),
+        lambda s: Aggressive(tiebreak="low"),
+        lambda s: Delay(delay),
+        lambda s: Combination(),
+    ):
+        _assert_equivalent(instance, policy_factory, delay)

@@ -334,3 +334,104 @@ class TestCommands:
         assert code == 2
         assert captured.err.startswith("error:")
         assert "Traceback" not in captured.err
+
+
+class TestBenchCommand:
+    def test_bench_engine_writes_report_json(self, capsys, tmp_path):
+        import json as json_module
+
+        out = tmp_path / "report.json"
+        code = main(
+            ["bench", "engine", "--num-requests", "300", "--batch-size", "8",
+             "--reps", "1", "--no-scan", "--json", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "vector[B=8]" in captured
+        assert "worst vector-batch speedup" in captured
+        report = json_module.loads(out.read_text())
+        assert report["benchmark"] == "engine-throughput"
+        assert report["num_requests"] == 300 and report["batch_size"] == 8
+        cell = report["results"]["zipf-hot/aggressive"]
+        assert cell["vector_batch_requests_per_second"] > 0
+        assert "scan_seconds" not in cell  # --no-scan skips the reference rows
+
+    def test_bench_engine_gate_passes_against_a_loose_floor(self, capsys, tmp_path):
+        import json as json_module
+
+        floor = tmp_path / "floor.json"
+        floor.write_text(json_module.dumps({
+            "gate": "engine-vector-perf",
+            "num_requests": 300,
+            "batch_size": 8,
+            "min_vector_batch_requests_per_second": 1.0,
+            "min_vector_batch_speedup": 0.01,
+        }))
+        code = main(
+            ["bench", "engine", "--reps", "1", "--no-scan",
+             "--gate", "--floor", str(floor)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "perf gate passed" in captured.out
+
+    def test_bench_engine_gate_fails_loudly_below_the_floor(self, capsys, tmp_path):
+        import json as json_module
+
+        floor = tmp_path / "floor.json"
+        floor.write_text(json_module.dumps({
+            "gate": "engine-vector-perf",
+            "num_requests": 300,
+            "batch_size": 8,
+            "min_vector_batch_requests_per_second": 1e15,
+            "min_vector_batch_speedup": 0.01,
+        }))
+        code = main(
+            ["bench", "engine", "--reps", "1", "--no-scan",
+             "--gate", "--floor", str(floor)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "PERF GATE:" in captured.err
+        assert "below the floor" in captured.err
+
+    def test_bench_engine_gate_reports_grid_mismatch(self, capsys, tmp_path):
+        import json as json_module
+
+        floor = tmp_path / "floor.json"
+        floor.write_text(json_module.dumps({
+            "gate": "engine-vector-perf",
+            "num_requests": 999,
+            "min_vector_batch_requests_per_second": 1.0,
+            "min_vector_batch_speedup": 0.01,
+        }))
+        code = main(
+            ["bench", "engine", "--num-requests", "300", "--batch-size", "8",
+             "--reps", "1", "--no-scan", "--gate", "--floor", str(floor)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "gate grid mismatch" in captured.err
+
+    def test_simulate_engine_axis(self, capsys):
+        code = main(
+            ["simulate", "-w", "zipf:n=40,blocks=10,seed=1", "-k", "6", "-F", "3",
+             "-a", "aggressive", "--engine", "vector"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stall_time" in out
+
+    def test_sweep_engine_axis_matches_loop(self, capsys, tmp_path):
+        seeds = ",".join(str(i) for i in range(10))
+        loop_json = tmp_path / "loop.json"
+        vector_json = tmp_path / "vector.json"
+        base = ["sweep", "-w", "zipf:n=40,blocks=10", "-k", "6", "-F", "3",
+                "-a", "aggressive", "--seeds", seeds]
+        assert main(base + ["--engine", "loop", "--json", str(loop_json)]) == 0
+        assert main(base + ["--engine", "vector", "--json", str(vector_json)]) == 0
+        capsys.readouterr()
+        loop_text = loop_json.read_text()
+        vector_text = vector_json.read_text()
+        assert '"vector"' in vector_text
+        assert vector_text.replace('"vector"', '"loop"') == loop_text
