@@ -28,9 +28,12 @@ import csv
 import json
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..disksim.metrics import SimMetrics
+
+if TYPE_CHECKING:  # type-only: executor pulls in the whole engine stack
+    from ..disksim.executor import SimulationResult
 
 __all__ = ["RunRecord", "ResultSet", "RUN_RECORD_COLUMNS", "safe_ratio"]
 
@@ -115,7 +118,7 @@ class RunRecord:
     @classmethod
     def from_simulation(
         cls,
-        result,
+        result: "SimulationResult",
         *,
         point: str,
         algorithm_spec: Optional[str] = None,
@@ -301,7 +304,7 @@ class ResultSet:
     backend: str = "serial"
     optimum_requests: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "records", tuple(self.records))
 
     @property
@@ -375,11 +378,15 @@ class ResultSet:
             indent=2,
         )
 
-    def write_json(self, path, columns: Optional[Sequence[str]] = None) -> None:
+    def write_json(
+        self, path: "str | Path", columns: Optional[Sequence[str]] = None
+    ) -> None:
         """Write :meth:`to_json` to ``path``."""
         Path(path).write_text(self.to_json(columns) + "\n")
 
-    def write_csv(self, path, columns: Optional[Sequence[str]] = None) -> None:
+    def write_csv(
+        self, path: "str | Path", columns: Optional[Sequence[str]] = None
+    ) -> None:
         """Write the rows as CSV (canonical column order, grid order)."""
         rows = self.as_rows(columns)
         if not rows:

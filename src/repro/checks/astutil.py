@@ -1,0 +1,120 @@
+"""Small AST helpers shared by the checker rules.
+
+Nothing here is rule-specific: dotted-name rendering for call targets,
+constant extraction, and an enclosing-function walk used by rules that
+need to reason about the parameters of the function a node sits in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "dotted_name",
+    "str_constant",
+    "lambda_arg_names",
+    "callable_arg_names",
+    "iter_functions",
+    "maybe_none_params",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def str_constant(node: Optional[ast.AST]) -> Optional[str]:
+    """The string value of a constant node, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def lambda_arg_names(node: ast.Lambda) -> List[str]:
+    """Every parameter name a lambda accepts (positional + keyword-only)."""
+    args = node.args
+    return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+def callable_arg_names(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Tuple[List[str], bool]:
+    """``(parameter names, accepts **kwargs)`` for a function definition.
+
+    ``self``/``cls`` are stripped so class ``__init__`` signatures compare
+    directly against registry parameter schemas.
+    """
+    args = node.args
+    names = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    ]
+    return names, args.kwarg is not None
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    """Every function definition in ``tree``, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _annotation_allows_none(annotation: Optional[ast.AST]) -> bool:
+    """Whether an annotation names ``Optional[...]`` / ``... | None`` / ``None``."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return True
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        return base in ("Optional", "typing.Optional") or (
+            base in ("Union", "typing.Union")
+            and any(
+                _annotation_allows_none(elt)
+                for elt in (
+                    annotation.slice.elts
+                    if isinstance(annotation.slice, ast.Tuple)
+                    else [annotation.slice]
+                )
+            )
+        )
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_allows_none(annotation.left) or _annotation_allows_none(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "None"
+    return False
+
+
+def maybe_none_params(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+) -> Dict[str, bool]:
+    """Parameter name -> "may be None" (Optional annotation or None default)."""
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    defaults: List[Optional[ast.AST]] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    result: Dict[str, bool] = {}
+    for arg, default in zip(positional, defaults):
+        annotation = getattr(arg, "annotation", None)
+        none_default = isinstance(default, ast.Constant) and default.value is None
+        result[arg.arg] = none_default or _annotation_allows_none(annotation)
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        annotation = getattr(arg, "annotation", None)
+        none_default = isinstance(kw_default, ast.Constant) and kw_default.value is None
+        result[arg.arg] = none_default or _annotation_allows_none(annotation)
+    return result

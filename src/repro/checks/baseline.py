@@ -1,0 +1,92 @@
+"""The committed findings baseline: grandfathered debt, structurally matched.
+
+A baseline is a JSON file mapping finding identities — ``(rule, path,
+message)``, deliberately *without* line numbers — to the number of such
+findings that are accepted.  ``repro check`` subtracts baselined findings
+from a run's results and fails only on what remains, so a rule can be
+introduced against an imperfect tree without blocking CI, while every
+*new* violation still goes red.  Updating the file is an explicit,
+reviewed action (``repro check --update-baseline``); an empty baseline is
+the steady state this repository maintains.
+
+Matching is count-aware: a baseline entry with ``count: 2`` absorbs at
+most two identical findings, so duplicating a grandfathered violation
+still fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+#: Format marker written into (and required of) every baseline file.
+_BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted findings: ``(rule, path, message) -> count``."""
+
+    entries: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """The baseline that accepts exactly ``findings``."""
+        return cls(entries=dict(Counter(f.baseline_key for f in findings)))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (strict about shape and version)."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read baseline file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline file {path} is not a version-{_BASELINE_VERSION} "
+                "repro-check baseline"
+            )
+        entries: Dict[Tuple[str, str, str], int] = {}
+        for item in payload.get("findings", []):
+            key = (str(item["rule"]), str(item["path"]), str(item["message"]))
+            entries[key] = entries.get(key, 0) + int(item.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline deterministically (sorted entries, sorted keys)."""
+        findings = [
+            {"rule": rule, "path": pkgpath, "message": message, "count": count}
+            for (rule, pkgpath, message), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _BASELINE_VERSION, "findings": findings}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf8"
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into (new, baselined) against this baseline.
+
+        Each baseline entry absorbs at most ``count`` matching findings;
+        matching ignores line numbers (see :attr:`Finding.baseline_key`).
+        """
+        budget = dict(self.entries)
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted

@@ -1,0 +1,57 @@
+"""Per-rule enable/disable configuration for a check run.
+
+The configuration is deliberately tiny: a run enables every registered
+rule by default, an explicit ``only`` set restricts the run to those
+rules, and a ``disabled`` set switches individual rules off.  Unknown
+rule ids are rejected with a :class:`~repro.errors.ConfigurationError`
+naming the valid rules — a typo in ``--disable`` must not silently run a
+different gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["CheckConfig"]
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Which rules a check run executes.
+
+    ``only`` empty means "all registered rules"; ``disabled`` is applied
+    afterwards either way.
+    """
+
+    only: FrozenSet[str] = frozenset()
+    disabled: FrozenSet[str] = frozenset()
+
+    def is_enabled(self, rule_id: str) -> bool:
+        """Whether the rule participates in this run."""
+        if rule_id in self.disabled:
+            return False
+        return not self.only or rule_id in self.only
+
+    def validate(self, known_rules: Iterable[str]) -> None:
+        """Reject configured rule ids that name no registered rule."""
+        known = set(known_rules)
+        unknown = sorted((self.only | self.disabled) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown check rule(s) {', '.join(repr(r) for r in unknown)}; "
+                f"registered rules: {', '.join(sorted(known))}"
+            )
+
+    @classmethod
+    def from_option_strings(
+        cls, only: str = "", disable: str = ""
+    ) -> "CheckConfig":
+        """Build a config from comma-separated CLI option strings."""
+
+        def parse(text: str) -> Tuple[str, ...]:
+            return tuple(item.strip() for item in text.split(",") if item.strip())
+
+        return cls(only=frozenset(parse(only)), disabled=frozenset(parse(disable)))

@@ -1,0 +1,73 @@
+"""The :class:`Finding` model: one diagnostic emitted by one checker rule.
+
+A finding is a plain typed fact — rule id, file, line, severity, message —
+with a deterministic sort order (path, line, rule) and a lossless JSON
+encoding, so reports diff cleanly between runs and the committed baseline
+can match findings structurally.  The *baseline key* of a finding
+deliberately excludes the line number: a grandfathered finding keeps
+matching its baseline entry when unrelated edits shift the file, and stops
+matching (goes "new") only when its rule, file or message changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Valid severities, mildest last.  ``error`` findings and ``warning``
+#: findings both fail the gate when new; the level only affects rendering.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: which rule fired, where, and why.
+
+    ``path`` is the package-relative posix path (``disksim/vector.py``) so
+    findings are stable across checkouts and machines; the runner keeps the
+    absolute path separately for display.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"finding severity {self.severity!r} is not one of {SEVERITIES}"
+            )
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The line-independent identity baseline entries match on."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """One-line ``path:line: severity: [rule] message`` rendering."""
+        return f"{self.path}:{self.line}: {self.severity}: [{self.rule}] {self.message}"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe encoding (see :meth:`from_json_dict`)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_json_dict` output."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            severity=str(payload.get("severity", "error")),
+        )

@@ -1,0 +1,81 @@
+"""Error-discipline rule: spec grammars fail only with named, typed errors.
+
+The three spec grammars (``repro.specs``, ``repro.workloads.spec``,
+``repro.algorithms.registry``) promise that every parse failure is a
+:class:`~repro.errors.ConfigurationError` whose message names the
+offending spec — the CLI turns exactly that class into a one-line exit-2
+diagnostic, and the registry contract tests assert the wording.  A bare
+``ValueError`` or ``KeyError`` escaping a parser breaks both.  This rule
+proves the property statically: every ``raise`` in those files must
+construct a ``ConfigurationError`` with a dynamic (f-string) message, so
+the error always carries the actual spec/parameter it rejects.
+
+Coercer callables deliberately raise ``ValueError`` as their *protocol*
+(``coerce_params`` converts it, attaching the spec); those sites carry an
+inline ``# repro: allow(spec-error-discipline)`` pragma with the
+justification next to the raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..base import Checker, ModuleUnderCheck, register_checker
+from ..findings import Finding
+
+__all__ = ["SpecErrorDisciplineChecker"]
+
+
+@register_checker
+class SpecErrorDisciplineChecker(Checker):
+    """Every raise in the spec grammars is a spec-naming ConfigurationError."""
+
+    rule_id = "spec-error-discipline"
+    description = (
+        "spec-grammar modules may only raise ConfigurationError, with an "
+        "f-string message that names the offending spec"
+    )
+    scope = ("specs.py", "workloads/spec.py", "algorithms/registry.py")
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Finding]:
+        """Flag non-ConfigurationError raises and static/constant messages."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:  # bare re-raise keeps the original error
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                yield self.finding(
+                    module,
+                    node,
+                    "raise of a non-constructed exception in a spec grammar; "
+                    "raise ConfigurationError(f\"...\") naming the spec",
+                )
+                continue
+            name = dotted_name(exc.func) or "<dynamic>"
+            if name.split(".")[-1] != "ConfigurationError":
+                yield self.finding(
+                    module,
+                    node,
+                    f"spec grammar raises {name}; parse failures must be "
+                    "ConfigurationError so the CLI reports them as one-line "
+                    "configuration errors",
+                )
+                continue
+            message = exc.args[0] if exc.args else None
+            if not (
+                isinstance(message, ast.JoinedStr)
+                and any(
+                    isinstance(part, ast.FormattedValue) for part in message.values
+                )
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "ConfigurationError message is not an f-string interpolating "
+                    "the offending spec; a static message cannot name what it "
+                    "rejects",
+                )

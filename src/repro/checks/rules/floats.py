@@ -1,0 +1,96 @@
+"""Float-equality rule: no ``==``/``!=`` on inexact float expressions.
+
+Approximation ratios, hit rates and Zipf weights are floats; comparing
+them with ``==`` works until a refactor changes evaluation order and a
+gate silently flips.  This rule flags equality comparisons whose operand
+is statically float-typed *and inexact*: a non-integral float literal, a
+true-division result, or ``float("nan")`` (never equal to anything,
+including itself).  Comparisons against ``float("inf")`` stay legal —
+infinity is produced literally in this codebase (ratios over a zero
+optimum) and equality with it is exact.  Functions whose whole purpose is
+exact float bookkeeping are allowlisted by name in
+:data:`EXACT_EQUALITY_HELPERS`; anything else needs an explicit
+``math.isclose``/tolerance comparison or an inline
+``# repro: allow(float-equality)`` pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from ..astutil import dotted_name
+from ..base import Checker, ModuleUnderCheck, register_checker
+from ..findings import Finding
+
+__all__ = ["EXACT_EQUALITY_HELPERS", "FloatEqualityChecker"]
+
+#: Functions allowed to compare floats exactly: they traffic only in values
+#: produced by exact operations (literal inf sentinels, 0-vs-0 ratios).
+EXACT_EQUALITY_HELPERS: FrozenSet[str] = frozenset({"safe_ratio", "_row_ratio"})
+
+
+def _is_float_call(node: ast.AST, *values: str) -> bool:
+    """Whether ``node`` is ``float("<one of values>")``."""
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.lower().lstrip("+-") in values
+    )
+
+
+def _inexact_reason(node: ast.AST) -> Optional[str]:
+    """Why ``node`` is an inexact float operand, or None if it is not."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        if node.value != int(node.value):
+            return f"float literal {node.value!r}"
+        return None  # integral literals (0.0, 1.0) are exactly representable
+    if _is_float_call(node, "nan"):
+        return 'float("nan") (never equal to anything, itself included)'
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return "a true-division result"
+    return None
+
+
+@register_checker
+class FloatEqualityChecker(Checker):
+    """Equality on inexact float expressions outside the exact helpers."""
+
+    rule_id = "float-equality"
+    description = (
+        "no ==/!= against non-integral float literals, division results or "
+        "NaN outside the exact-equivalence helper allowlist"
+    )
+    severity = "warning"
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Finding]:
+        """Flag suspicious equality comparisons, skipping allowlisted helpers."""
+        yield from self._walk(module, module.tree, allowlisted=False)
+
+    def _walk(
+        self, module: ModuleUnderCheck, node: ast.AST, allowlisted: bool
+    ) -> Iterator[Finding]:
+        """Recursive walk tracking whether an allowlisted helper encloses us."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            allowlisted = allowlisted or node.name in EXACT_EQUALITY_HELPERS
+        if isinstance(node, ast.Compare) and not allowlisted:
+            operands = [node.left, *node.comparators]
+            has_equality = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            if has_equality:
+                for operand in operands:
+                    reason = _inexact_reason(operand)
+                    if reason is not None:
+                        yield Finding(
+                            path=module.pkgpath,
+                            line=node.lineno,
+                            rule=self.rule_id,
+                            message=f"==/!= against {reason}; use math.isclose or "
+                            "an explicit tolerance",
+                            severity=self.severity,
+                        )
+                        break
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(module, child, allowlisted)

@@ -1,0 +1,226 @@
+"""Registry-hygiene rule: declared schemas match the factories they call.
+
+Every workload and algorithm registration binds three things that must
+agree: a human-readable summary (the catalog "docstring"), a typed
+parameter schema (``ParamSpec`` entries), and a factory/builder callable
+invoked with the coerced parameters as keyword arguments.  The runtime
+only discovers a mismatch when a spec using the stray parameter is
+actually parsed — a ``TypeError`` at build time, wrapped into a confusing
+configuration error.  This rule proves the consistency statically:
+
+* the summary must be a non-empty string literal;
+* a lambda builder's parameter list must equal the declared schema names
+  exactly (the workload registry's idiom);
+* a named factory (the algorithm registry's idiom) is resolved to its
+  class/function definition across the scanned tree — every declared
+  schema name must be a parameter its ``__init__`` accepts, and the
+  definition must carry a docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..astutil import callable_arg_names, lambda_arg_names, str_constant
+from ..base import ModuleUnderCheck, ProjectChecker, register_checker
+from ..findings import Finding
+
+__all__ = ["RegistryHygieneChecker"]
+
+#: Call names that register an entry as ``(name, summary, factory, params)``.
+_DEF_CALLS = frozenset({"_def"})
+
+#: Call names that register as ``(name, factory, *, summary=, params=)``.
+_REGISTER_CALLS = frozenset({"register_algorithm"})
+
+
+def _param_spec_names(node: Optional[ast.AST]) -> List[Tuple[int, Optional[str]]]:
+    """``(line, name)`` of every ``ParamSpec(...)`` in a params list/tuple."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return []
+    names: List[Tuple[int, Optional[str]]] = []
+    for element in node.elts:
+        if (
+            isinstance(element, ast.Call)
+            and isinstance(element.func, ast.Name)
+            and element.func.id == "ParamSpec"
+        ):
+            first = element.args[0] if element.args else None
+            names.append((element.lineno, str_constant(first)))
+    return names
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    """The value of keyword argument ``name`` on ``call``, if present."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+class _Registration:
+    """One parsed registration call: name, summary, factory, schema names."""
+
+    def __init__(
+        self,
+        module: ModuleUnderCheck,
+        call: ast.Call,
+        name: Optional[str],
+        summary: Optional[ast.AST],
+        factory: Optional[ast.AST],
+        params: Optional[ast.AST],
+    ) -> None:
+        """Capture the decomposed call (no validation happens here)."""
+        self.module = module
+        self.call = call
+        self.name = name or "<dynamic>"
+        self.summary = summary
+        self.factory = factory
+        self.param_names = _param_spec_names(params)
+
+
+def _registrations(module: ModuleUnderCheck) -> Iterator[_Registration]:
+    """Every statically-readable registration call in the module.
+
+    Calls whose entry name is not a string literal are skipped: they are
+    forwarding helpers (``_def`` calling ``register_algorithm`` with its
+    own parameters) or plugin machinery the rule cannot reason about.
+    """
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        args = node.args
+        if not args or str_constant(args[0]) is None:
+            continue
+        if node.func.id in _DEF_CALLS:
+            yield _Registration(
+                module,
+                node,
+                name=str_constant(args[0]) if args else None,
+                summary=(args[1] if len(args) > 1 else _keyword(node, "summary")),
+                factory=(args[2] if len(args) > 2 else None),
+                params=(args[3] if len(args) > 3 else _keyword(node, "params")),
+            )
+        elif node.func.id in _REGISTER_CALLS:
+            yield _Registration(
+                module,
+                node,
+                name=str_constant(args[0]) if args else None,
+                summary=_keyword(node, "summary"),
+                factory=(args[1] if len(args) > 1 else _keyword(node, "factory")),
+                params=_keyword(node, "params"),
+            )
+
+
+def _definition_index(
+    modules: Sequence[ModuleUnderCheck],
+) -> Dict[str, "ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef"]:
+    """Top-level class/function definitions by name across the scanned tree."""
+    index: Dict[str, "ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef"] = {}
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                index.setdefault(node.name, node)
+    return index
+
+
+def _factory_signature(
+    definition: "ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef",
+) -> Optional[Tuple[List[str], bool]]:
+    """``(accepted kwarg names, has **kwargs)`` of a factory definition.
+
+    For classes the explicit ``__init__`` is used; a class without one
+    (inherited constructor) returns None — the rule then skips the
+    signature comparison rather than guessing.
+    """
+    if isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return callable_arg_names(definition)
+    for item in definition.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if item.name == "__init__":
+                return callable_arg_names(item)
+    return None
+
+
+@register_checker
+class RegistryHygieneChecker(ProjectChecker):
+    """Registrations carry summaries and schema-consistent factories."""
+
+    rule_id = "registry-hygiene"
+    description = (
+        "every registered workload/algorithm must declare a non-empty summary "
+        "and a parameter schema its factory signature actually accepts"
+    )
+    scope = ("workloads/", "algorithms/")
+
+    def check_project(
+        self, modules: Sequence[ModuleUnderCheck]
+    ) -> Iterator[Finding]:
+        """Validate every registration against the scanned definitions."""
+        index = _definition_index(modules)
+        for module in modules:
+            if module.pkgpath not in ("workloads/spec.py", "algorithms/registry.py"):
+                continue
+            for registration in _registrations(module):
+                yield from self._check_registration(registration, index)
+
+    def _check_registration(
+        self,
+        registration: _Registration,
+        index: Dict[str, "ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef"],
+    ) -> Iterator[Finding]:
+        """All hygiene findings for one registration call."""
+        module = registration.module
+        call = registration.call
+        name = registration.name
+        summary = str_constant(registration.summary)
+        if not summary or not summary.strip():
+            yield self.finding(
+                module,
+                call,
+                f"registration {name!r} has no summary string — the catalog "
+                "docstring is part of the registry contract",
+            )
+        declared = [n for _line, n in registration.param_names if n is not None]
+        if len(declared) != len(set(declared)):
+            yield self.finding(
+                module, call, f"registration {name!r} declares duplicate ParamSpec names"
+            )
+        factory = registration.factory
+        if isinstance(factory, ast.Lambda):
+            accepted = lambda_arg_names(factory)
+            if sorted(accepted) != sorted(declared):
+                yield self.finding(
+                    module,
+                    call,
+                    f"registration {name!r}: lambda builder takes "
+                    f"({', '.join(accepted) or 'nothing'}) but the schema declares "
+                    f"({', '.join(declared) or 'nothing'}) — the coerced parameters "
+                    "are passed as keywords, so the sets must match exactly",
+                )
+        elif isinstance(factory, ast.Name):
+            definition = index.get(factory.id)
+            if definition is None:
+                return  # defined outside the scanned tree; nothing to compare
+            if not ast.get_docstring(definition):
+                yield self.finding(
+                    module,
+                    call,
+                    f"registration {name!r}: factory {factory.id} has no docstring",
+                )
+            signature = _factory_signature(definition)
+            if signature is None:
+                return  # inherited constructor; cannot compare statically
+            accepted, has_kwargs = signature
+            if has_kwargs:
+                return
+            unknown = sorted(set(declared) - set(accepted))
+            if unknown:
+                yield self.finding(
+                    module,
+                    call,
+                    f"registration {name!r}: schema declares parameter(s) "
+                    f"{', '.join(repr(u) for u in unknown)} that factory "
+                    f"{factory.id}({', '.join(accepted)}) does not accept",
+                )

@@ -1,0 +1,145 @@
+"""The check harness: collect files, run every enabled rule, report.
+
+:func:`run_checks` is the single entry point the CLI, CI and the
+meta-test share: it walks the target paths, parses every ``*.py`` file
+into a :class:`~repro.checks.base.ModuleUnderCheck`, runs the enabled
+per-module and cross-module rules, applies the committed baseline, and
+returns a :class:`CheckReport` with deterministic ordering (findings sort
+by path, line, rule), text rendering and a JSON encoding for artifacts.
+
+Package-relative paths
+----------------------
+Findings are reported against *package-relative* posix paths
+(``disksim/vector.py``).  For files under a directory named ``repro`` the
+prefix up to and including that directory is stripped; otherwise paths
+are taken relative to the scanned root — which is what makes the fixture
+tests work: a temp tree ``<tmp>/disksim/bad.py`` scans with the same
+coordinates as the real package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from . import rules as _rules  # noqa: F401  - importing registers the battery
+from .base import Checker, ModuleUnderCheck, ProjectChecker, all_checkers, parse_module
+from .baseline import Baseline
+from .config import CheckConfig
+from .findings import Finding
+
+__all__ = ["CheckReport", "collect_modules", "run_checks", "default_check_root"]
+
+
+def default_check_root() -> Path:
+    """The installed ``repro`` package source tree (the default scan target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _package_relative(path: Path, root: Path) -> str:
+    """The package-relative posix path findings report (see module docstring)."""
+    resolved = path.resolve()
+    parts = list(resolved.parts)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[index + 1 :]
+        if tail:
+            return "/".join(tail)
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return resolved.name
+
+
+def collect_modules(paths: Sequence[Path]) -> List[ModuleUnderCheck]:
+    """Parse every ``*.py`` file under ``paths`` (files or directories)."""
+    modules: List[ModuleUnderCheck] = []
+    seen = set()
+    for target in paths:
+        target = Path(target)
+        if not target.exists():
+            raise ConfigurationError(f"check target {target} does not exist")
+        root = target if target.is_dir() else target.parent
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for file in files:
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            pkgpath = _package_relative(file, root)
+            try:
+                modules.append(parse_module(file, pkgpath))
+            except SyntaxError as exc:
+                raise ConfigurationError(
+                    f"check target {file} is not parseable Python: {exc}"
+                ) from exc
+    modules.sort(key=lambda m: m.pkgpath)
+    return modules
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """The outcome of one check run: new findings, baselined ones, coverage."""
+
+    findings: Tuple[Finding, ...]
+    baselined: Tuple[Finding, ...] = ()
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no findings beyond the baseline)."""
+        return not self.findings
+
+    def format_text(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro check: {len(self.findings)} new finding(s), "
+            f"{len(self.baselined)} baselined, {self.files_checked} file(s), "
+            f"{len(self.rules_run)} rule(s)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding for the CI findings artifact."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_json_dict() for f in self.findings],
+            "baselined": [f.to_json_dict() for f in self.baselined],
+        }
+
+
+def run_checks(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    config: Optional[CheckConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> CheckReport:
+    """Run every enabled rule over ``paths`` and report against ``baseline``."""
+    config = config or CheckConfig()
+    targets = [Path(p) for p in paths] if paths else [default_check_root()]
+    checkers = all_checkers()
+    config.validate(c.rule_id for c in checkers)
+    enabled = [c for c in checkers if config.is_enabled(c.rule_id)]
+    modules = collect_modules(targets)
+    findings: List[Finding] = []
+    for checker in enabled:
+        if isinstance(checker, ProjectChecker):
+            findings.extend(checker.run_project(modules))
+        else:
+            for module in modules:
+                findings.extend(checker.run(module))
+    findings.sort()
+    new, accepted = (baseline or Baseline()).split(findings)
+    return CheckReport(
+        findings=tuple(new),
+        baselined=tuple(accepted),
+        files_checked=len(modules),
+        rules_run=tuple(c.rule_id for c in enabled),
+    )

@@ -27,6 +27,11 @@ Commands
 ``bench``     — run the repository microbenchmarks; ``bench engine`` measures
                 loop/scan/vector-batch throughput and, with ``--gate``,
                 enforces the stored perf floor (exit 1 on regression).
+``check``     — run the AST invariant lint over the package source: the
+                determinism, error-discipline, engine-parity, registry-hygiene
+                and float-equality rules, gated against a committed baseline
+                (exit 1 on any new finding; ``--list-rules`` shows the
+                battery, ``--json`` writes the findings artifact).
 
 Workload and algorithm specs share the grammar ``name[:key=value,...]``
 (``zipf:n=200,blocks=50,skew=0.8``, ``delay:d=3``, ``demand:evict=lru``) so
@@ -291,6 +296,30 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="gate floor file (default with --gate: "
                                 "./BENCH_engine_floor.json if present)")
 
+    p_check = sub.add_parser(
+        "check",
+        help="run the AST invariant lint (determinism, error discipline, "
+        "engine parity, registry hygiene, float equality)",
+    )
+    p_check.add_argument("paths", nargs="*", default=None,
+                         help="files or directories to check (default: the "
+                         "installed repro package source)")
+    p_check.add_argument("--baseline", default=None,
+                         help="baseline file of grandfathered findings; new "
+                         "findings beyond it fail the gate")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite --baseline to absorb the current "
+                         "findings instead of failing on them")
+    p_check.add_argument("--json", dest="json_path", default=None,
+                         help="write the full report as JSON to this path "
+                         "(the CI findings artifact)")
+    p_check.add_argument("--only", default=None,
+                         help="comma-separated rule ids to run exclusively")
+    p_check.add_argument("--disable", default=None,
+                         help="comma-separated rule ids to skip")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="list the registered rules and exit")
+
     return parser
 
 
@@ -536,6 +565,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .checks import Baseline, CheckConfig, all_checkers, run_checks
+
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule_id} ({checker.severity}): {checker.description}")
+        return 0
+    config = CheckConfig.from_option_strings(
+        args.only or "", args.disable or ""
+    )
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.update_baseline and baseline_path is None:
+        raise ConfigurationError("--update-baseline needs --baseline (the file to write)")
+    baseline = None
+    if baseline_path is not None and baseline_path.exists() and not args.update_baseline:
+        baseline = Baseline.load(baseline_path)
+    report = run_checks(args.paths or None, config=config, baseline=baseline)
+    if args.update_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"wrote baseline {baseline_path} absorbing "
+            f"{len(report.findings)} finding(s)"
+        )
+        return 0
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json_module.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     cache_sizes = [int(v) for v in args.cache_sizes.split(",") if v]
     fetch_times = [int(v) for v in args.fetch_times.split(",") if v]
@@ -562,6 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lowerbound": _cmd_lowerbound,
         "bounds": _cmd_bounds,
         "bench": _cmd_bench,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

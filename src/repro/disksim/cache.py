@@ -27,7 +27,7 @@ class CacheState:
 
     __slots__ = ("_capacity", "_resident", "_incoming")
 
-    def __init__(self, capacity: int, initial: Iterable[BlockId] = ()):
+    def __init__(self, capacity: int, initial: Iterable[BlockId] = ()) -> None:
         if capacity < 1:
             raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
         initial_set: Set[BlockId] = set(initial)

@@ -43,7 +43,7 @@ class DiskLayout:
         mapping: Mapping[BlockId, DiskId] | None = None,
         *,
         default_disk: DiskId = 0,
-    ):
+    ) -> None:
         if num_disks < 1:
             raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
         if not 0 <= default_disk < num_disks:

@@ -66,7 +66,7 @@ class EventLog:
 
     __slots__ = ("_events",)
 
-    def __init__(self, events: Tuple[Event, ...] | List[Event] = ()):
+    def __init__(self, events: Tuple[Event, ...] | List[Event] = ()) -> None:
         self._events: List[Event] = list(events)
 
     def record(self, event: Event) -> None:

@@ -149,7 +149,7 @@ class PolicyView:
         busy_disks: FrozenSet[DiskId],
         misses: Optional[MissTracker] = None,
         evictions: Optional[EvictionHeap] = None,
-    ):
+    ) -> None:
         self.instance = instance
         self.time = time
         self.cursor = cursor
@@ -365,7 +365,7 @@ class _EngineState:
     cover.
     """
 
-    def __init__(self, instance: ProblemInstance, capacity: int, engine: str = "loop"):
+    def __init__(self, instance: ProblemInstance, capacity: int, engine: str = "loop") -> None:
         engine = canonical_engine(engine)
         if engine in ("vector", "auto"):
             engine = "loop"
@@ -659,7 +659,7 @@ class _PolicyDriver:
     """Decision source for :func:`simulate`: consult the policy, force demand
     fetches when it leaves the processor unable to make progress."""
 
-    def __init__(self, policy: PrefetchPolicy):
+    def __init__(self, policy: PrefetchPolicy) -> None:
         self.policy = policy
 
     def decision_point(self, state: _EngineState) -> None:
@@ -718,7 +718,7 @@ class _ReplayDriver:
         instance: ProblemInstance,
         by_time: Dict[int, List[FetchDecision]],
         positional: List[Tuple[int, int, FetchDecision]],
-    ):
+    ) -> None:
         self.pending_by_time = {t: list(ds) for t, ds in sorted(by_time.items())}
         # Positional fetches are kept as one pending queue per disk, in the
         # paper's linear order "<" (by interval start, then end).  The head of

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from heapq import heappop, heappush
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import AbstractSet, Iterable, List, Optional, Set, Tuple
 
 from .._typing import INFINITY, BlockId, DiskId
 from .disk import DiskLayout
@@ -64,7 +64,7 @@ class SequenceIndex:
 
     __slots__ = ("sequence", "layout", "blocks_by_disk")
 
-    def __init__(self, sequence: RequestSequence, layout: Optional[DiskLayout] = None):
+    def __init__(self, sequence: RequestSequence, layout: Optional[DiskLayout] = None) -> None:
         self.sequence = sequence
         self.layout = layout if layout is not None else DiskLayout.single()
         num_disks = self.layout.num_disks
@@ -122,7 +122,7 @@ class MissTracker:
 
     __slots__ = ("_sequence", "_layout", "_heaps", "_absent", "_counter")
 
-    def __init__(self, index: SequenceIndex, initially_present: Iterable[BlockId]):
+    def __init__(self, index: SequenceIndex, initially_present: Iterable[BlockId]) -> None:
         self._sequence = index.sequence
         self._layout = index.layout
         # Entries are (next occurrence, insertion counter, block); the counter
@@ -165,7 +165,7 @@ class MissTracker:
         heappush(self._heaps[self._layout.disk_of(block)], (next_use, self._counter, block))
 
     def _peek(
-        self, disk: DiskId, cursor: int, exclude
+        self, disk: DiskId, cursor: int, exclude: AbstractSet[BlockId]
     ) -> Optional[int]:
         """First missing position on ``disk`` (ignoring ``exclude``), or None."""
         heap = self._heaps[disk]
@@ -211,7 +211,7 @@ class _ReversedStr:
 
     __slots__ = ("value",)
 
-    def __init__(self, value: str):
+    def __init__(self, value: str) -> None:
         self.value = value
 
     def __lt__(self, other: "_ReversedStr") -> bool:
@@ -238,7 +238,7 @@ class EvictionHeap:
 
     __slots__ = ("_sequence", "_heap", "_resident", "_counter")
 
-    def __init__(self, sequence: RequestSequence):
+    def __init__(self, sequence: RequestSequence) -> None:
         self._sequence = sequence
         # Entries are (-next_use, reversed str, insertion counter, block); the
         # counter settles the (pathological) tie of two distinct blocks with

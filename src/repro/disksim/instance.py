@@ -47,7 +47,7 @@ class ProblemInstance:
     layout: DiskLayout = field(default_factory=DiskLayout.single)
     initial_cache: FrozenSet[BlockId] = frozenset()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.sequence, RequestSequence):
             object.__setattr__(self, "sequence", RequestSequence(self.sequence))
         object.__setattr__(self, "initial_cache", frozenset(self.initial_cache))

@@ -37,7 +37,7 @@ class SimMetrics:
     #: first-class metric next to the stall/elapsed results it certifies.
     solve_seconds: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "fetches_per_disk", dict(self.fetches_per_disk))
 
     @property

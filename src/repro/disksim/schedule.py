@@ -74,7 +74,7 @@ class Schedule:
     fetches: Tuple[TimedFetch, ...]
     initial_cache: FrozenSet[BlockId] = frozenset()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "fetches", tuple(sorted(self.fetches)))
         self._check_disk_overlap()
 
@@ -175,7 +175,7 @@ class IntervalFetch:
     block: BlockId
     victim: Optional[BlockId] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.end_pos <= self.start_pos:
             raise InvalidScheduleError(
                 f"interval fetch has end_pos {self.end_pos} <= start_pos {self.start_pos}"
@@ -201,7 +201,7 @@ class IntervalSchedule:
     fetches: Tuple[IntervalFetch, ...]
     initial_cache: FrozenSet[BlockId] = frozenset()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         ordered = tuple(sorted(self.fetches, key=lambda f: (f.start_pos, f.end_pos, f.disk)))
         object.__setattr__(self, "fetches", ordered)
         for op in ordered:

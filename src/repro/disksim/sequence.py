@@ -43,7 +43,7 @@ class RequestSequence(Sequence[BlockId]):
 
     __slots__ = ("_requests", "_positions", "_next_use", "_hash")
 
-    def __init__(self, requests: Sequence[BlockId], *, allow_empty: bool = False):
+    def __init__(self, requests: Sequence[BlockId], *, allow_empty: bool = False) -> None:
         reqs: Tuple[BlockId, ...] = tuple(requests)
         if not reqs and not allow_empty:
             raise InvalidSequenceError("request sequence must not be empty")
@@ -70,7 +70,7 @@ class RequestSequence(Sequence[BlockId]):
     def __len__(self) -> int:
         return len(self._requests)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: "int | slice") -> "BlockId | RequestSequence":
         if isinstance(index, slice):
             return RequestSequence(self._requests[index], allow_empty=True)
         return self._requests[index]

@@ -36,7 +36,7 @@ validation time instead of with an ImportError mid-run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from .._typing import BlockId
 from ..errors import ConfigurationError
@@ -44,6 +44,9 @@ from .events import EventLog
 from .instance import ProblemInstance
 from .metrics import SimMetrics
 from .schedule import Schedule, TimedFetch
+
+if TYPE_CHECKING:  # imported lazily at runtime (executor imports this module)
+    from .executor import SimulationResult
 
 __all__ = [
     "BatchOutcome",
@@ -58,7 +61,7 @@ _np = None
 _np_checked = False
 
 
-def _numpy():
+def _numpy() -> Any:
     """The numpy module, or ``None`` when it is not installed (probed once)."""
     global _np, _np_checked
     if not _np_checked:
@@ -77,7 +80,7 @@ def numpy_available() -> bool:
     return _numpy() is not None
 
 
-def require_numpy():
+def require_numpy() -> Any:
     """Return numpy or raise a ConfigurationError naming the missing extra."""
     np = _numpy()
     if np is None:
@@ -98,7 +101,7 @@ class _Plan:
     d: int = 0
 
 
-def _resolve_plan(instance: ProblemInstance, policy, _depth: int = 0) -> Optional[_Plan]:
+def _resolve_plan(instance: ProblemInstance, policy: Any, _depth: int = 0) -> Optional[_Plan]:
     """Map ``policy`` to a kernel plan, or ``None`` if the kernel cannot run it.
 
     Only the exact shipped classes qualify (``type() is`` checks): a subclass
@@ -119,7 +122,9 @@ def _resolve_plan(instance: ProblemInstance, policy, _depth: int = 0) -> Optiona
     return None
 
 
-def _encode_instance(instance: ProblemInstance):
+def _encode_instance(
+    instance: ProblemInstance,
+) -> Optional[Tuple[List[int], List[int], List[BlockId]]]:
     """Densely encode an instance's blocks as integer ids in ``str`` order.
 
     Returns ``(seq_ids, warm_ids, blocks)`` where ``blocks[i]`` is the block
@@ -167,7 +172,9 @@ class BatchOutcome:
     schedule: Optional[Schedule] = None
 
 
-def _run_kernel(np, jobs: Sequence[_Job], want_schedules: bool):
+def _run_kernel(
+    np: Any, jobs: Sequence[_Job], want_schedules: bool
+) -> List[Tuple[SimMetrics, Optional[Schedule]]]:
     """Advance all ``jobs`` to completion in fused batched array steps.
 
     Returns a list of ``(SimMetrics, Optional[Schedule])`` in job order.
@@ -480,7 +487,7 @@ def _run_kernel(np, jobs: Sequence[_Job], want_schedules: bool):
     return results
 
 
-def _prepare_job(instance: ProblemInstance, policy) -> Optional[_Job]:
+def _prepare_job(instance: ProblemInstance, policy: Any) -> Optional[_Job]:
     """Build a kernel job for ``(instance, policy)``, or ``None`` to fall back."""
     if instance.num_disks != 1 or instance.num_requests == 0:
         return None
@@ -577,7 +584,9 @@ def simulate_batch(
     return run_batch(pairs, schedules=schedules)
 
 
-def simulate_vector(instance: ProblemInstance, policy):
+def simulate_vector(
+    instance: ProblemInstance, policy: Any
+) -> "Optional[SimulationResult]":
     """Kernel-simulate one instance, or return ``None`` when it is not covered.
 
     This is the ``engine="vector"`` entry point used by

@@ -53,6 +53,8 @@ def coerce_bool(text: str) -> bool:
         return True
     if lowered in ("0", "false", "no", "off"):
         return False
+    # Coercer protocol: coerce_params converts this into a ConfigurationError
+    # that names the spec and parameter.  # repro: allow(spec-error-discipline)
     raise ValueError(f"not a boolean: {text!r}")
 
 
@@ -67,6 +69,8 @@ def choice(*options: str) -> Callable[[str], str]:
     def coerce(text: str) -> str:
         lowered = text.strip().lower()
         if lowered not in allowed:
+            # Coercer protocol: converted by coerce_params, which attaches
+            # the offending spec.  # repro: allow(spec-error-discipline)
             raise ValueError(f"expected one of {'|'.join(allowed)}, got {text!r}")
         return lowered
 
@@ -187,7 +191,7 @@ def coerce_params(
     return coerced
 
 
-def with_params(spec: str, *, role: str = "spec", **overrides) -> str:
+def with_params(spec: str, *, role: str = "spec", **overrides: object) -> str:
     """Return ``spec`` with the given ``key=value`` parameters set/overridden.
 
     Purely textual (the name is not resolved against any registry), but

@@ -11,7 +11,7 @@ generators are deterministic given a seed and return
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -36,7 +36,7 @@ def _block_names(num_blocks: int, prefix: str = "x") -> List[BlockId]:
     return [f"{prefix}{j}" for j in range(num_blocks)]
 
 
-def _rng(seed: Optional[int]) -> np.random.Generator:
+def _rng(seed: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
@@ -47,7 +47,7 @@ def _zipf_weights(count: int, skew: float) -> np.ndarray:
 
 
 def uniform_random(
-    num_requests: int, num_blocks: int, *, seed: Optional[int] = 0, prefix: str = "u"
+    num_requests: int, num_blocks: int, *, seed: int = 0, prefix: str = "u"
 ) -> RequestSequence:
     """Independent uniform references over ``num_blocks`` distinct blocks."""
     if num_requests < 1 or num_blocks < 1:
@@ -63,7 +63,7 @@ def zipf(
     num_blocks: int,
     *,
     skew: float = 1.0,
-    seed: Optional[int] = 0,
+    seed: int = 0,
     prefix: str = "z",
 ) -> RequestSequence:
     """Zipf-distributed references: block ``j`` has weight ``1/(j+1)^skew``.
@@ -125,7 +125,7 @@ def working_set_shift(
     requests_per_phase: int,
     *,
     overlap: int = 0,
-    seed: Optional[int] = 0,
+    seed: int = 0,
     prefix: str = "w",
 ) -> RequestSequence:
     """Random references within a working set that shifts every phase.
@@ -157,7 +157,7 @@ def markov_phases(
     window: int = 12,
     locality: float = 0.9,
     switch: float = 0.05,
-    seed: Optional[int] = 0,
+    seed: int = 0,
     prefix: str = "m",
 ) -> RequestSequence:
     """Markov-modulated phase locality: a hot window that jumps at random instants.
@@ -199,7 +199,7 @@ def multiclient_streams(
     shared_blocks: int = 10,
     shared_fraction: float = 0.3,
     skew: float = 0.8,
-    seed: Optional[int] = 0,
+    seed: int = 0,
     prefix: str = "mc",
 ) -> RequestSequence:
     """Interleaved per-client reference streams emulating many concurrent users.
@@ -242,7 +242,7 @@ def multiclient_streams(
 
 
 def mixed_phases(
-    parts: Sequence[RequestSequence], *, interleave: bool = False, seed: Optional[int] = 0
+    parts: Sequence[RequestSequence], *, interleave: bool = False, seed: int = 0
 ) -> RequestSequence:
     """Combine several generated sequences into one workload.
 

@@ -17,7 +17,7 @@ starting with ``#`` are ignored.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -40,7 +40,7 @@ def file_scan_trace(
     *,
     rescans: int = 1,
     hot_block_accesses: int = 0,
-    seed: Optional[int] = 0,
+    seed: int = 0,
 ) -> RequestSequence:
     """Sequential scans over several files with optional hot metadata blocks.
 
@@ -71,7 +71,7 @@ def database_join_trace(
     inner_blocks: int,
     *,
     inner_passes_per_outer: int = 1,
-    seed: Optional[int] = 0,
+    seed: int = 0,
 ) -> RequestSequence:
     """A block nested-loop join: for each outer block, scan the inner relation.
 
@@ -93,7 +93,7 @@ def multimedia_stream_trace(
     num_streams: int,
     blocks_per_stream: int,
     *,
-    seed: Optional[int] = 0,
+    seed: int = 0,
 ) -> RequestSequence:
     """Several strictly sequential streams consumed in round-robin interleaving.
 

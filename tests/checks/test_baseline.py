@@ -1,0 +1,71 @@
+"""Baseline tests: round-trip, count-aware matching, strict loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checks import Baseline, Finding
+from repro.errors import ConfigurationError
+
+
+def _finding(line: int = 1, message: str = "m") -> Finding:
+    return Finding(path="a.py", line=line, rule="r", message=message)
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        assert Baseline.load(path) == baseline
+
+    def test_save_is_deterministic(self, tmp_path):
+        findings = [_finding(message="b"), _finding(message="a")]
+        one, two = tmp_path / "one.json", tmp_path / "two.json"
+        Baseline.from_findings(findings).save(one)
+        Baseline.from_findings(list(reversed(findings))).save(two)
+        assert one.read_text() == two.read_text()
+
+    def test_empty_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == {}
+        payload = json.loads(path.read_text())
+        assert payload == {"version": 1, "findings": []}
+
+
+class TestSplit:
+    def test_line_moves_still_match(self):
+        baseline = Baseline.from_findings([_finding(line=5)])
+        new, accepted = baseline.split([_finding(line=50)])
+        assert new == []
+        assert len(accepted) == 1
+
+    def test_count_aware_absorption(self):
+        baseline = Baseline.from_findings([_finding(line=1)])
+        new, accepted = baseline.split([_finding(line=1), _finding(line=2)])
+        assert len(accepted) == 1
+        assert len(new) == 1
+
+    def test_message_change_goes_new(self):
+        baseline = Baseline.from_findings([_finding(message="old wording")])
+        new, accepted = baseline.split([_finding(message="new wording")])
+        assert len(new) == 1
+        assert accepted == []
+
+
+class TestLoad:
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="cannot read baseline"):
+            Baseline.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ConfigurationError, match="version-1"):
+            Baseline.load(path)

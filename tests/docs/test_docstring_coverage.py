@@ -20,7 +20,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parents[2]
-PACKAGES = ("src/repro/lp", "src/repro/analysis")
+PACKAGES = ("src/repro/lp", "src/repro/analysis", "src/repro/checks")
 
 #: Module docstrings of repro/lp must reference the paper explicitly.
 _PAPER_REFERENCE = re.compile(
