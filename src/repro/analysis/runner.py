@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -87,6 +88,8 @@ __all__ = [
     "evaluate_instances",
     "sweep_key_for",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------------
@@ -334,6 +337,13 @@ def _evaluate_point(point: ExperimentPoint) -> RunRecord:
             f"experiment point [{point.describe()}] failed: "
             f"{type(exc).__name__}: {exc}"
         ) from exc
+    if result.engine_reason is not None:
+        logger.debug(
+            "point [%s]: vector engine ineligible, ran %s: %s",
+            point.describe(),
+            engine,
+            result.engine_reason,
+        )
     return RunRecord.from_simulation(
         result,
         point=point.describe(),

@@ -7,7 +7,9 @@ Commands
 ``compare``   — run several algorithms on the same workload and print their
                 measured ratios against the LP optimum.
 ``sweep``     — run an algorithm x parameter grid through the batched
-                experiment runner (multi-process, cached, JSON/CSV output).
+                experiment runner (multi-process, cached, JSON/CSV output);
+                ``--watch`` instead polls a running sweep's manifest in the
+                run store and exits when every point is complete.
 ``ratios``    — run a workload x algorithm grid with optimum computation:
                 every record carries the certified optimum, the
                 approximation ratios and the solve wall time; optima are
@@ -27,6 +29,13 @@ Commands
 ``bench``     — run the repository microbenchmarks; ``bench engine`` measures
                 loop/scan/vector-batch throughput and, with ``--gate``,
                 enforces the stored perf floor (exit 1 on regression).
+``serve``     — run the resident prefetch service: a multi-tenant HTTP
+                daemon where each session is a resumable stepped simulation
+                (feed requests incrementally, query upcoming decisions and
+                projected stall); SIGTERM flushes session snapshots so a
+                restarted server resumes every tenant, and ``--replay``
+                streams a workload spec through an in-process service and
+                verifies it against the offline batch run.
 ``check``     — run the AST invariant lint over the package source: the
                 determinism, error-discipline, engine-parity, registry-hygiene
                 and float-equality rules, gated against a committed baseline
@@ -201,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run an algorithm x parameter grid via the experiment runner"
     )
     add_grid_options(p_sweep, name_default="cli-sweep")
+    p_sweep.add_argument("--watch", action="store_true",
+                         help="poll this grid's sweep manifest in the run store "
+                         "instead of executing it; print progress until every "
+                         "point is complete (requires --cache-dir)")
+    p_sweep.add_argument("--watch-interval", type=float, default=2.0,
+                         help="seconds between --watch polls")
 
     p_ratios = sub.add_parser(
         "ratios",
@@ -295,6 +310,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_engine.add_argument("--floor", default=None,
                                 help="gate floor file (default with --gate: "
                                 "./BENCH_engine_floor.json if present)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident multi-tenant prefetch service (HTTP front end "
+        "over the stepped simulation kernel)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind the HTTP server on")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port to listen on (0 picks a free port)")
+    p_serve.add_argument("--state-dir", default=".repro-service",
+                         help="directory of session snapshots and journals; a "
+                         "restarted server resumes every session found here")
+    p_serve.add_argument("--replay", default=None, metavar="WORKLOAD",
+                         help="instead of serving, stream this workload spec "
+                         "through an in-process session chunk by chunk and "
+                         "verify the outcome against the offline batch run "
+                         "(exit 1 on mismatch)")
+    p_serve.add_argument("--chunk", type=int, default=64,
+                         help="requests per feed batch under --replay")
+    p_serve.add_argument("--algorithm", "-a", default="aggressive",
+                         help="algorithm spec for the --replay session")
+    p_serve.add_argument("--cache-size", "-k", type=int, default=16)
+    p_serve.add_argument("--fetch-time", "-F", type=int, default=8)
 
     p_check = sub.add_parser(
         "check",
@@ -447,7 +486,32 @@ def _run_grid_command(args: argparse.Namespace, **extra) -> ResultSet:
     return run
 
 
+def _watch_sweep(args: argparse.Namespace) -> int:
+    """Poll the grid's sweep manifest until every point is complete.
+
+    The watcher is read-mostly: each poll re-registers the manifest (a
+    no-op once it exists) and reconciles it against the records other
+    processes have written, so it converges no matter which worker — or
+    how many — is actually executing the sweep.
+    """
+    import time as time_module
+
+    if args.cache_dir is None:
+        raise ConfigurationError("--watch needs --cache-dir (the run store location)")
+    spec = _grid_spec(args)
+    with RunStore(store_path_for(args.cache_dir)) as store:
+        while True:
+            progress = prepare_sweep(spec, store)
+            print(f"watch {progress.describe()}", flush=True)
+            if progress.complete:
+                print("sweep complete")
+                return 0
+            time_module.sleep(args.watch_interval)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.watch:
+        return _watch_sweep(args)
     run = _run_grid_command(args)
     print(format_result_set(run))
     _write_outputs(run, args)
@@ -565,6 +629,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import PrefetchService, make_server, replay_workload
+
+    if args.replay is not None:
+        report = replay_workload(
+            args.replay,
+            algorithm=args.algorithm,
+            cache_size=args.cache_size,
+            fetch_time=args.fetch_time,
+            chunk=args.chunk,
+        )
+        print(report.describe())
+        return 0 if report.match else 1
+
+    state_dir = Path(args.state_dir)
+    service = PrefetchService(state_dir=state_dir)
+    restored = service.load_all()
+    if restored:
+        print(f"restored {len(restored)} session(s): {', '.join(restored)}")
+    server = make_server(service, args.host, args.port)
+
+    def _request_shutdown(signum, frame) -> None:
+        # serve_forever runs in this (main) thread; shutdown() blocks until
+        # the loop exits, so it must be issued from a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"prefetch service listening on http://{host}:{port} (state: {state_dir})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        written = service.save_all()
+        service.close()
+        print(f"saved {len(written)} session snapshot(s) to {state_dir}")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .checks import Baseline, CheckConfig, all_checkers, run_checks
 
@@ -623,6 +733,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lowerbound": _cmd_lowerbound,
         "bounds": _cmd_bounds,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "check": _cmd_check,
     }
     try:

@@ -11,6 +11,7 @@ from .disk import DiskLayout
 from .events import Event, EventKind, EventLog
 from .executor import (
     FetchDecision,
+    HorizonExhausted,
     PolicyView,
     PrefetchPolicy,
     SimulationResult,
@@ -25,8 +26,11 @@ from .instance import ProblemInstance
 from .metrics import SimMetrics
 from .schedule import IntervalFetch, IntervalSchedule, Schedule, TimedFetch
 from .sequence import RequestSequence
+from .stepped import SteppedPolicyView, SteppedSimulation
+from .stream import StreamSequence
 from .vector import (
     BatchOutcome,
+    ineligibility_reason,
     numpy_available,
     require_numpy,
     run_batch,
@@ -41,7 +45,12 @@ __all__ = [
     "EventKind",
     "EventLog",
     "FetchDecision",
+    "HorizonExhausted",
     "PolicyView",
+    "SteppedPolicyView",
+    "SteppedSimulation",
+    "StreamSequence",
+    "ineligibility_reason",
     "PrefetchPolicy",
     "SimulationResult",
     "canonical_engine",

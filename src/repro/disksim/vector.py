@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # imported lazily at runtime (executor imports this module)
 
 __all__ = [
     "BatchOutcome",
+    "ineligibility_reason",
     "numpy_available",
     "require_numpy",
     "run_batch",
@@ -141,6 +142,28 @@ def _encode_instance(
     seq_ids = [index[b] for b in instance.sequence.requests]
     warm_ids = [index[b] for b in instance.initial_cache]
     return seq_ids, warm_ids, blocks
+
+
+def ineligibility_reason(instance: ProblemInstance, policy: Any) -> Optional[str]:
+    """Why the vector kernel cannot run this instance/policy, or ``None``.
+
+    Mirrors the eligibility checks of ``_prepare_job`` in order without
+    building the job (and without resetting the policy), so engine-selection
+    provenance — the ``engine_reason`` of a fallen-back
+    :class:`~repro.disksim.executor.SimulationResult` — costs one plan
+    resolution and, at worst, one instance encoding.
+    """
+    if not numpy_available():
+        return "numpy not importable"
+    if instance.num_disks != 1:
+        return "parallel-disk instance"
+    if instance.num_requests == 0:
+        return "empty request sequence"
+    if _resolve_plan(instance, policy) is None:
+        return f"no vector kernel plan for policy {getattr(policy, 'name', type(policy).__name__)!r}"
+    if _encode_instance(instance) is None:
+        return "ambiguous block identifiers (distinct blocks share a string form)"
+    return None
 
 
 @dataclass

@@ -1,0 +1,86 @@
+"""Append-only JSONL journal of one service session.
+
+Every externally visible session transition — creation, each batch of fed
+requests, plan queries, snapshot/restore — is appended as one JSON object
+per line, stamped with a monotonically increasing sequence number.  The
+journal is *operational* state, not result state: it carries no wall-clock
+timestamps (the simulation's own integer clock rides along in the payloads),
+so two replays of the same traffic produce byte-identical journals.
+
+A recorder re-opened over an existing file continues the sequence where the
+previous process stopped, so a daemon restart keeps one unbroken journal per
+session.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["SessionRecorder"]
+
+
+class SessionRecorder:
+    """Append-only JSONL event journal for a single session."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = Path(path)
+        self._file: Optional[TextIO] = None
+        self._seq = self._existing_entries(self._path)
+
+    @staticmethod
+    def _existing_entries(path: Path) -> int:
+        """How many journal lines an earlier process already wrote."""
+        if not path.exists():
+            return 0
+        with path.open("r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())
+
+    @property
+    def path(self) -> Path:
+        """Location of the journal file."""
+        return self._path
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended entry will carry."""
+        return self._seq
+
+    def append(self, event: str, **fields: Any) -> int:
+        """Append one journal entry; returns its sequence number.
+
+        The line is flushed immediately so a crashed daemon loses at most
+        the entry being written, never an acknowledged one.
+        """
+        if self._file is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("a", encoding="utf-8")
+        entry: Dict[str, Any] = {"seq": self._seq, "event": event}
+        entry.update(fields)
+        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._file.flush()
+        self._seq += 1
+        return entry["seq"]
+
+    def close(self) -> None:
+        """Close the underlying file (appending later reopens it)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @staticmethod
+    def read(path: Path) -> List[Dict[str, Any]]:
+        """Parse a journal file back into its entry dicts (test/debug aid)."""
+        entries: List[Dict[str, Any]] = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    entries.append(json.loads(line))
+        return entries
+
+    def __enter__(self) -> "SessionRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,166 @@
+"""Stdlib HTTP front end of the prefetch service.
+
+The transport layer, and nothing else: JSON in, JSON out, with every
+decision routed through :class:`~repro.service.daemon.PrefetchService`.
+Built on ``http.server.ThreadingHTTPServer`` so the daemon needs no
+third-party dependency; concurrency is serialised inside the service's own
+lock, so handler threads can be naive.
+
+Routes
+------
+``POST /session``                     open a session (``algorithm``,
+                                      ``cache_size``, ``fetch_time``,
+                                      optional ``initial_cache``)
+``POST /session/<id>/requests``       feed ``{"requests": [...]}`` and
+                                      advance; returns the session summary
+``GET  /session/<id>/plan``           committed + upcoming fetch decisions
+                                      and the projected batch outcome
+                                      (``?limit=N`` caps the upcoming list)
+``GET  /session/<id>``                session status summary
+``GET  /sessions``                    all session summaries
+``GET  /health``                      liveness probe (session count, uptime)
+
+This module is the only place in :mod:`repro.service` allowed to read the
+wall clock (the ``/health`` uptime field), pragma-justified below; result
+state never touches it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import ConfigurationError, ReproError
+from .daemon import PrefetchService
+
+__all__ = ["PrefetchHTTPServer", "make_server"]
+
+
+class PrefetchHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`PrefetchService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: PrefetchService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.started_unix = time.time()  # repro: allow(determinism-clock) -- /health uptime metadata, not result state
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler translating the JSON surface onto the service."""
+
+    server_version = "repro-prefetch/1"
+    protocol_version = "HTTP/1.1"
+    server: PrefetchHTTPServer
+
+    # The default handler logs every request with a wall-clock timestamp to
+    # stderr; the service journals sessions deterministically instead.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return payload
+
+    def _session_route(self, path: str) -> Tuple[Optional[str], Optional[str]]:
+        """Split ``/session/<id>[/<verb>]`` into (session_id, verb)."""
+        parts = [part for part in path.split("/") if part]
+        if len(parts) >= 2 and parts[0] == "session":
+            return parts[1], parts[2] if len(parts) > 2 else None
+        return None, None
+
+    def _handle(self, method: str) -> None:
+        url = urlparse(self.path)
+        try:
+            payload = self._route(method, url.path, parse_qs(url.query))
+        except ConfigurationError as exc:
+            code = 404 if "unknown session" in str(exc) else 400
+            self._send_json(code, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        else:
+            if payload is None:
+                self._send_json(404, {"error": f"no route for {method} {url.path}"})
+            else:
+                code, body = payload
+                self._send_json(code, body)
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, query: Dict[str, Any]
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        service = self.server.service
+        session_id, verb = self._session_route(path)
+        if method == "GET":
+            if path == "/health":
+                uptime = time.time() - self.server.started_unix  # repro: allow(determinism-clock) -- /health uptime metadata, not result state
+                return 200, {
+                    "ok": True,
+                    "sessions": len(service.session_ids),
+                    "uptime_seconds": round(uptime, 3),
+                }
+            if path == "/sessions":
+                return 200, {"sessions": service.describe()}
+            if session_id is not None and verb == "plan":
+                limit_values = query.get("limit")
+                limit = int(limit_values[0]) if limit_values else None
+                return 200, service.plan(session_id, limit)
+            if session_id is not None and verb is None:
+                return 200, service.get(session_id).describe()
+            return None
+        if method == "POST":
+            body = self._read_body()
+            if path == "/session":
+                session = service.create_session(
+                    str(body.get("algorithm", "aggressive")),
+                    cache_size=int(body.get("cache_size", 16)),
+                    fetch_time=int(body.get("fetch_time", 8)),
+                    initial_cache=body.get("initial_cache", ()),
+                )
+                return 201, session.describe()
+            if session_id is not None and verb == "requests":
+                requests = body.get("requests")
+                if not isinstance(requests, list):
+                    raise ConfigurationError(
+                        'feed body must be {"requests": [<block>, ...]}'
+                    )
+                return 200, service.feed(session_id, requests)
+            return None
+        return None
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+
+def make_server(
+    service: PrefetchService, host: str = "127.0.0.1", port: int = 8642
+) -> PrefetchHTTPServer:
+    """Bind the service's HTTP front end (``port=0`` picks a free port)."""
+    return PrefetchHTTPServer((host, port), service)

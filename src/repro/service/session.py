@@ -1,0 +1,206 @@
+"""One tenant session: a stepped simulation plus its journal.
+
+A :class:`Session` owns exactly one
+:class:`~repro.disksim.stepped.SteppedSimulation` (the tenant's cache state,
+policy state and committed trajectory) and an optional
+:class:`~repro.service.recorder.SessionRecorder` journalling its externally
+visible transitions.  It is deliberately transport-free — the HTTP layer and
+the replay driver both speak to sessions through the same three verbs:
+``feed`` (append requests, advance as far as the horizon allows), ``plan``
+(project the batch outcome of the fed prefix) and ``finish`` (seal and run
+to completion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..algorithms import make_algorithm
+from ..disksim.executor import PrefetchPolicy, SimulationResult
+from ..disksim.schedule import TimedFetch
+from ..disksim.stepped import SteppedSimulation
+from .._typing import BlockId
+from .recorder import SessionRecorder
+
+__all__ = ["Session"]
+
+
+def _fetch_payload(fetch: TimedFetch) -> Dict[str, Any]:
+    """JSON shape of one fetch decision."""
+    return {
+        "start_time": fetch.start_time,
+        "disk": fetch.disk,
+        "block": fetch.block,
+        "victim": fetch.victim,
+    }
+
+
+class Session:
+    """A tenant's resumable simulation behind a stable string identity."""
+
+    def __init__(
+        self,
+        session_id: str,
+        algorithm_spec: str,
+        sim: SteppedSimulation,
+        recorder: Optional[SessionRecorder] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.algorithm_spec = algorithm_spec
+        self.sim = sim
+        self.recorder = recorder
+        #: Status string of the most recent ``advance`` (None before any feed).
+        self.last_status: Optional[str] = None
+
+    @classmethod
+    def create(
+        cls,
+        session_id: str,
+        algorithm: str,
+        *,
+        cache_size: int,
+        fetch_time: int,
+        initial_cache: Iterable[BlockId] = (),
+        recorder: Optional[SessionRecorder] = None,
+    ) -> "Session":
+        """Open a fresh session running ``algorithm`` (a registry spec)."""
+        policy: PrefetchPolicy = make_algorithm(algorithm)
+        sim = SteppedSimulation.open_stream(
+            policy,
+            cache_size=cache_size,
+            fetch_time=fetch_time,
+            initial_cache=initial_cache,
+        )
+        session = cls(session_id, algorithm, sim, recorder)
+        if recorder is not None:
+            recorder.append(
+                "create",
+                session=session_id,
+                algorithm=algorithm,
+                cache_size=cache_size,
+                fetch_time=fetch_time,
+                initial_cache=sorted(initial_cache, key=str),
+                streaming=sim.streaming,
+            )
+        return session
+
+    # -- the service surface -----------------------------------------------------
+
+    def feed(self, blocks: Iterable[BlockId]) -> Dict[str, Any]:
+        """Append requests and advance as far as the new horizon allows."""
+        accepted = self.sim.feed(blocks)
+        self.last_status = self.sim.advance()
+        if self.recorder is not None:
+            self.recorder.append(
+                "feed",
+                session=self.session_id,
+                accepted=accepted,
+                status=self.last_status,
+                horizon=self.sim.horizon,
+                cursor=self.sim.cursor,
+                time=self.sim.time,
+            )
+        summary = self.describe()
+        summary["accepted"] = accepted
+        return summary
+
+    def plan(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Upcoming decisions and outcome if the stream ended right now.
+
+        The projection runs on an independent clone (the live session is
+        untouched) and, by the stepped kernel's prefix-of-batch invariant,
+        equals a batch run over exactly the requests fed so far.  Decisions
+        already committed by the live session are reported separately from
+        the upcoming (projected, still revisable) ones.
+        """
+        payload = self.describe()
+        if self.sim.horizon == 0:
+            payload.update({"committed": [], "upcoming": [], "projected": None})
+            return payload
+        committed = list(self.sim.fetches_so_far())
+        projected: SimulationResult = self.sim.project()
+        upcoming: List[TimedFetch] = list(projected.schedule.fetches[len(committed):])
+        if limit is not None:
+            upcoming = upcoming[: max(limit, 0)]
+        payload.update(
+            {
+                "committed": [_fetch_payload(f) for f in committed],
+                "upcoming": [_fetch_payload(f) for f in upcoming],
+                "projected": {
+                    "stall_time": projected.metrics.stall_time,
+                    "elapsed_time": projected.metrics.elapsed_time,
+                    "num_fetches": projected.metrics.num_fetches,
+                    "metrics": projected.metrics.as_dict(),
+                },
+            }
+        )
+        if self.recorder is not None:
+            self.recorder.append(
+                "plan",
+                session=self.session_id,
+                horizon=self.sim.horizon,
+                cursor=self.sim.cursor,
+                upcoming=len(payload["upcoming"]),
+            )
+        return payload
+
+    def finish(self) -> SimulationResult:
+        """Seal the stream and run the session to completion."""
+        result = self.sim.run_to_completion()
+        self.last_status = SteppedSimulation.COMPLETE
+        if self.recorder is not None:
+            self.recorder.append(
+                "finish",
+                session=self.session_id,
+                horizon=self.sim.horizon,
+                stall_time=result.metrics.stall_time,
+                elapsed_time=result.metrics.elapsed_time,
+            )
+        return result
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-shaped status summary of the session."""
+        return {
+            "session": self.session_id,
+            "algorithm": self.algorithm_spec,
+            "status": self.last_status,
+            "streaming": self.sim.streaming,
+            "closed": self.sim.closed,
+            "finished": self.sim.finished,
+            "horizon": self.sim.horizon,
+            "cursor": self.sim.cursor,
+            "time": self.sim.time,
+            "metrics_so_far": self.sim.metrics_so_far().as_dict(),
+        }
+
+    # -- persistence -------------------------------------------------------------
+
+    def snapshot_payload(self) -> Dict[str, Any]:
+        """Envelope persisted as ``<id>.snapshot.json`` by the daemon."""
+        return {
+            "session": self.session_id,
+            "algorithm": self.algorithm_spec,
+            "last_status": self.last_status,
+            "snapshot": self.sim.snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot_payload(
+        cls,
+        payload: Mapping[str, Any],
+        recorder: Optional[SessionRecorder] = None,
+    ) -> "Session":
+        """Revive a session exactly where :meth:`snapshot_payload` left it."""
+        sim = SteppedSimulation.restore(payload["snapshot"])
+        session = cls(str(payload["session"]), str(payload["algorithm"]), sim, recorder)
+        status = payload.get("last_status")
+        session.last_status = None if status is None else str(status)
+        if recorder is not None:
+            recorder.append(
+                "restore",
+                session=session.session_id,
+                horizon=sim.horizon,
+                cursor=sim.cursor,
+                time=sim.time,
+            )
+        return session

@@ -1,0 +1,153 @@
+"""The HTTP front end: routes, error mapping, and restart over real sockets.
+
+The server binds port 0 (a free ephemeral port) and runs in a daemon thread;
+requests go through :mod:`urllib` so the whole stack — routing, JSON bodies,
+status codes, content-length framing — is exercised the way a real client
+sees it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.disksim.executor import simulate
+from repro.service import PrefetchService, make_server
+from repro.workloads.spec import build_workload_instance
+
+
+@pytest.fixture
+def http_service():
+    """A served PrefetchService; yields (call, service), then shuts down."""
+    service = PrefetchService()
+    server = make_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def call(method, path, body=None):
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}", data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    try:
+        yield call, service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_full_session_round_trip(http_service):
+    call, _service = http_service
+    code, health = call("GET", "/health")
+    assert code == 200 and health["ok"] and health["sessions"] == 0
+
+    code, created = call(
+        "POST", "/session", {"algorithm": "aggressive", "cache_size": 8, "fetch_time": 4}
+    )
+    assert code == 201
+    session_id = created["session"]
+
+    instance = build_workload_instance(
+        "zipf:n=120,blocks=40,seed=3", cache_size=8, fetch_time=4, disks=1, layout="striped"
+    )
+    requests = list(instance.sequence.requests)
+    code, fed = call("POST", f"/session/{session_id}/requests", {"requests": requests})
+    assert code == 200
+    assert fed["horizon"] == len(requests)
+    assert fed["accepted"] == len(requests)
+
+    code, plan = call("GET", f"/session/{session_id}/plan")
+    assert code == 200
+    offline = simulate(instance, make_algorithm("aggressive"))
+    assert plan["projected"]["stall_time"] == offline.metrics.stall_time
+    assert plan["projected"]["elapsed_time"] == offline.metrics.elapsed_time
+
+    code, limited = call("GET", f"/session/{session_id}/plan?limit=1")
+    assert code == 200
+    assert limited["upcoming"] == plan["upcoming"][:1]
+
+    code, listing = call("GET", "/sessions")
+    assert code == 200
+    assert [s["session"] for s in listing["sessions"]] == [session_id]
+    code, status = call("GET", f"/session/{session_id}")
+    assert code == 200 and status["cursor"] == fed["cursor"]
+
+
+def test_error_mapping(http_service):
+    call, _service = http_service
+    assert call("GET", "/session/s404/plan")[0] == 404
+    assert call("POST", "/session/s404/requests", {"requests": ["a"]})[0] == 404
+    code, error = call("POST", "/session", {"algorithm": "definitely-not-registered"})
+    assert code == 400 and "definitely-not-registered" in error["error"]
+    code, error = call(
+        "POST",
+        "/session",
+        {"algorithm": "aggressive", "cache_size": 4, "fetch_time": 2},
+    )
+    assert code == 201
+    code, error = call("POST", "/session/s1/requests", {"requests": "not-a-list"})
+    assert code == 400 and "requests" in error["error"]
+    assert call("GET", "/nope")[0] == 404
+    assert call("POST", "/nope")[0] == 404
+
+
+def test_restart_resumes_sessions_over_http(tmp_path):
+    state_dir = tmp_path / "state"
+
+    def run_server(fn):
+        service = PrefetchService(state_dir=state_dir)
+        service.load_all()
+        server = make_server(service, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+
+        def call(method, path, body=None):
+            data = None if body is None else json.dumps(body).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}{path}", data=data, method=method
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return json.loads(response.read())
+
+        try:
+            return fn(call)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.save_all()
+            service.close()
+
+    def first(call):
+        created = call("POST", "/session", {"algorithm": "demand:evict=lru",
+                                            "cache_size": 4, "fetch_time": 3})
+        fed = call("POST", f"/session/{created['session']}/requests",
+                   {"requests": [f"b{i % 11}" for i in range(60)]})
+        return created["session"], fed, call("GET", f"/session/{created['session']}/plan")
+
+    session_id, fed, plan = run_server(first)
+
+    def second(call):
+        listing = call("GET", "/sessions")["sessions"]
+        return listing, call("GET", f"/session/{session_id}/plan")
+
+    listing, plan_after = run_server(second)
+    assert [s["session"] for s in listing] == [session_id]
+    assert listing[0]["cursor"] == fed["cursor"]
+    assert listing[0]["time"] == fed["time"]
+    assert plan_after["projected"] == plan["projected"]
+    assert plan_after["upcoming"] == plan["upcoming"]

@@ -435,3 +435,76 @@ class TestBenchCommand:
         vector_text = vector_json.read_text()
         assert '"vector"' in vector_text
         assert vector_text.replace('"vector"', '"loop"') == loop_text
+
+
+class TestServeCommand:
+    def test_replay_matches_offline(self, capsys):
+        code = main(
+            ["serve", "--replay", "multiclient:clients=5,n=150,shared=8,shared_frac=0.3",
+             "-a", "aggressive", "--chunk", "40", "-k", "6", "-F", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matches offline batch run" in out
+        assert "150 requests" in out
+
+    def test_replay_deferred_policy(self, capsys):
+        code = main(
+            ["serve", "--replay", "multiclient:clients=5,n=150,shared=8,shared_frac=0.3",
+             "-a", "conservative", "--chunk", "40", "-k", "6", "-F", "3"]
+        )
+        assert code == 0
+        assert "deferred" in capsys.readouterr().out
+
+    def test_replay_bad_workload_exits_cleanly(self, capsys):
+        code = main(["serve", "--replay", "definitely-not-a-workload"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+
+
+class TestSweepWatch:
+    GRID = ["-w", "zipf:n=30,blocks=8", "-k", "4", "-F", "3",
+            "-a", "aggressive,demand", "--seeds", "0"]
+
+    def test_watch_requires_cache_dir(self, capsys):
+        code = main(["sweep", *self.GRID, "--watch"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--watch needs --cache-dir" in captured.err
+
+    def test_watch_exits_when_sweep_complete(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", *self.GRID, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        code = main(["sweep", *self.GRID, "--cache-dir", cache_dir, "--watch"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "watch" in out and "2/2 points complete" in out
+        assert "sweep complete" in out
+
+    def test_watch_polls_until_complete(self, capsys, tmp_path, monkeypatch):
+        """An incomplete manifest keeps polling; completion ends the loop."""
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", *self.GRID, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # Register a *wider* grid sharing the store: its manifest is
+        # initially incomplete, so the watcher must poll at least once.
+        wide = ["-w", "zipf:n=30,blocks=8", "-k", "4,6", "-F", "3",
+                "-a", "aggressive,demand", "--seeds", "0"]
+        polls = []
+
+        def fake_sleep(seconds):
+            polls.append(seconds)
+            # Complete the sweep from "another process" during the poll gap.
+            assert main(["sweep", *wide, "--cache-dir", cache_dir]) == 0
+
+        import time as time_module
+
+        monkeypatch.setattr(time_module, "sleep", fake_sleep)
+        code = main(["sweep", *wide, "--cache-dir", cache_dir,
+                     "--watch", "--watch-interval", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert polls == [0.01]
+        assert "4/4 points complete" in out
