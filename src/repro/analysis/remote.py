@@ -1,0 +1,455 @@
+"""Remote execution backend: cross-machine fan-out over the lease coordinator.
+
+The fourth :class:`~repro.analysis.backends.ExecutionBackend`.  Where the
+pool backends fan tasks out over local threads or processes, this one
+serves them over HTTP to pull-based worker *processes* (``repro worker``),
+which may run anywhere that can reach the coordinator:
+
+* :class:`RemoteBackend` — the coordinator side.  ``map(fn, items)`` keeps
+  the order-preserving contract: items are batched into pickled
+  ``(fn, chunk)`` payloads, loaded into a
+  :class:`~repro.service.coordinator.SweepCoordinator`, and the results are
+  yielded in submission order as workers deliver them — so the runner
+  persists records and emits byte-identical JSON exactly as with every
+  other backend.  ``detached_workers`` tells the runner that workers may
+  not share the parent's filesystem: the parent keeps sole ownership of
+  the run store and optimum persistence.
+* :func:`run_worker` — the worker side.  A loop that leases chunks,
+  heartbeats while evaluating, and POSTs results back; transient transport
+  errors are retried with capped exponential backoff
+  (:func:`backoff_delays`), and a coordinator that stays gone simply ends
+  the worker (its leases expire and are re-issued elsewhere).
+* :class:`FaultPlan` — the fault-injection seam.  The test suite (and the
+  CI smoke script) threads drop/duplicate/delay/kill faults through the
+  worker transport to prove the fabric's idempotency and lease-recovery
+  claims instead of assuming them.
+
+Everything speaks stdlib ``urllib`` / ``http.server``; payloads are pickles
+in base64-wrapped JSON, which makes this a **trusted-cluster** protocol —
+point workers only at coordinators you run yourself.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+import os
+import pickle
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import ConfigurationError, PointEvaluationError, WorkerTransportError
+from ..service.coordinator import (
+    CoordinatorHTTPServer,
+    SweepCoordinator,
+    make_coordinator_server,
+)
+from .backends import ExecutionBackend, adaptive_chunk_size
+
+__all__ = [
+    "RemoteBackend",
+    "FaultPlan",
+    "WorkerReport",
+    "backoff_delays",
+    "run_worker",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Distinguishes workers started in one process without consuming RNG state.
+_WORKER_COUNTER = itertools.count(1)
+
+
+def backoff_delays(retries: int, base: float, cap: float) -> List[float]:
+    """The capped exponential backoff schedule: ``min(cap, base * 2**i)``.
+
+    A pure function so the retry policy is unit-testable without sleeping:
+    ``backoff_delays(4, 0.5, 3.0) == [0.5, 1.0, 2.0, 3.0]``.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retry count must be >= 0, got {retries!r}")
+    if base <= 0 or cap <= 0:
+        raise ConfigurationError(
+            f"backoff base and cap must be positive, got base={base!r} cap={cap!r}"
+        )
+    return [min(cap, base * (2.0 ** i)) for i in range(retries)]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection for the worker transport (tests/smoke).
+
+    Counters are consumed in arrival order — ``drop_completions=2`` swallows
+    the worker's first two completion POSTs (so its leases expire and the
+    chunks are re-issued), ``duplicate_completions=1`` sends the first
+    completion twice (exercising the coordinator's duplicate discard),
+    ``delay_seconds`` stalls before every completion (letting leases expire
+    first), and ``kill_after_chunks=N`` makes the worker die — without
+    completing — on its ``N+1``-th leased chunk, holding the lease.
+    """
+
+    drop_completions: int = 0
+    duplicate_completions: int = 0
+    delay_seconds: float = 0.0
+    kill_after_chunks: Optional[int] = None
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`run_worker` loop did before it exited, and why."""
+
+    worker_id: str
+    state: str = "done"  # done | shutdown | killed | coordinator-gone
+    chunks_completed: int = 0
+    tasks_completed: int = 0
+    dropped_completions: int = 0
+    duplicated_completions: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary (the ``repro worker`` exit line)."""
+        return (
+            f"worker {self.worker_id}: {self.state} "
+            f"({self.chunks_completed} chunks, {self.tasks_completed} tasks"
+            + (
+                f", {self.dropped_completions} dropped"
+                if self.dropped_completions
+                else ""
+            )
+            + (
+                f", {self.duplicated_completions} duplicated"
+                if self.duplicated_completions
+                else ""
+            )
+            + ")"
+        )
+
+
+# ---------------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------------
+
+
+class RemoteBackend(ExecutionBackend):
+    """Order-preserving backend that serves chunks to pull-based workers.
+
+    Construction is socket-free (``make_backend("remote")`` must be safe to
+    call anywhere); :meth:`start` binds the HTTP front end and returns the
+    URL workers connect to.  ``workers`` is advisory only — it sizes the
+    adaptive chunks; the actual degree of parallelism is however many
+    ``repro worker`` processes attach.
+    """
+
+    name = "remote"
+    #: Workers may live on other machines: the runner must not hand them a
+    #: path to the parent's run store (the parent persists results itself).
+    detached_workers = True
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 30.0,
+        chunk_size: Optional[int] = None,
+        announce: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size!r}")
+        self._host = host
+        self._port = port
+        self._chunk_size = chunk_size
+        self._announce = announce
+        self.coordinator = SweepCoordinator(lease_timeout=lease_timeout)
+        self._server: Optional[CoordinatorHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+
+    def start(self) -> str:
+        """Bind the coordinator's HTTP server (daemon thread); returns its URL."""
+        if self._server is None:
+            self._server = make_coordinator_server(
+                self.coordinator, self._host, self._port
+            )
+            self._server_thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-coordinator",
+                daemon=True,
+            )
+            self._server_thread.start()
+            if self._announce is not None:
+                self._announce(self.url)
+        return self.url
+
+    @property
+    def url(self) -> str:
+        """The coordinator's base URL (``start()`` must have been called)."""
+        if self._server is None:
+            raise ConfigurationError(
+                "remote backend is not serving yet; call start() first"
+            )
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> Iterator[_R]:
+        """Serve ``fn`` over ``items`` to the attached workers, in order.
+
+        Chunks are adaptively sized (like the process pool) unless an
+        explicit ``chunk_size`` was configured; each chunk travels as one
+        pickled ``(fn, items)`` payload and comes back as either a result
+        list or an exception, which is re-raised here — the same semantics
+        as every other backend.  Raises
+        :class:`~repro.errors.CoordinatorShutdown` if
+        :meth:`request_shutdown` fires while results are outstanding.
+        """
+        items = list(items)
+        if not items:
+            return
+        self.start()
+        size = self._chunk_size or adaptive_chunk_size(len(items), self.workers)
+        chunks = [items[start:start + size] for start in range(0, len(items), size)]
+        self.coordinator.submit(
+            [(pickle.dumps((fn, chunk)), len(chunk)) for chunk in chunks]
+        )
+        for payload in self.coordinator.results():
+            outcome = pickle.loads(payload)
+            if "error" in outcome:
+                raise outcome["error"]
+            yield from outcome["results"]
+
+    def request_shutdown(self) -> None:
+        """Stop the in-flight map (its iterator raises ``CoordinatorShutdown``)."""
+        self.coordinator.request_shutdown()
+
+    def close(self) -> None:
+        """Tear the HTTP server down (attached workers see connection refused)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._server_thread = None
+
+
+# ---------------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------------
+
+
+class _Transport:
+    """urllib transport with capped-exponential-backoff retries.
+
+    Connection failures and 5xx responses are retried along
+    :func:`backoff_delays`; exhausting the schedule raises
+    :class:`~repro.errors.WorkerTransportError`, which the worker loop
+    treats as "coordinator gone".  4xx responses are protocol bugs and
+    surface immediately as :class:`~repro.errors.ConfigurationError`.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 4.0,
+        max_retries: int = 6,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self._delays = backoff_delays(max_retries, backoff_base, backoff_cap)
+        self._sleep = sleep
+
+    def post(self, path: str, payload: Dict[str, object]) -> Dict[str, object]:
+        """POST ``payload`` as JSON to ``path``, retrying transient failures."""
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        last_error: Optional[Exception] = None
+        for attempt, delay in enumerate([0.0] + list(self._delays)):
+            if delay:
+                self._sleep(delay)
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                if exc.code < 500:
+                    raise ConfigurationError(
+                        f"coordinator rejected {path}: HTTP {exc.code} "
+                        f"{exc.read().decode('utf-8', 'replace').strip()}"
+                    ) from exc
+                last_error = exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last_error = exc
+        raise WorkerTransportError(
+            f"coordinator at {self.url} unreachable after "
+            f"{len(self._delays) + 1} attempts: {last_error}"
+        )
+
+
+class _Heartbeat:
+    """Background thread extending one lease's deadline while a chunk runs."""
+
+    def __init__(
+        self,
+        transport: _Transport,
+        *,
+        worker: str,
+        chunk: int,
+        lease: str,
+        run: str,
+        interval: float,
+    ) -> None:
+        self._transport = transport
+        self._payload = {"worker": worker, "chunk": chunk, "lease": lease, "run": run}
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{chunk}", daemon=True
+        )
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._transport.post("/heartbeat", self._payload)
+            except (WorkerTransportError, ConfigurationError):
+                return  # the completion POST will discover the failure itself
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def _evaluate_chunk(payload_b64: str) -> Tuple[bytes, int]:
+    """Run one leased chunk; returns ``(result payload, task count)``.
+
+    Task failures are shipped back as an error payload (re-raised inside the
+    backend's ``map``), wrapped in a :class:`~repro.errors.PointEvaluationError`
+    if the original exception does not survive a pickle round-trip.
+    """
+    fn, items = pickle.loads(base64.b64decode(payload_b64))
+    try:
+        outcome: Dict[str, object] = {"results": [fn(item) for item in items]}
+    except Exception as exc:
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = PointEvaluationError(
+                f"remote task failed with an unpicklable exception: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        outcome = {"error": exc}
+    return pickle.dumps(outcome), len(items)
+
+
+def run_worker(
+    url: str,
+    *,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.05,
+    backoff_base: float = 0.25,
+    backoff_cap: float = 4.0,
+    max_retries: int = 6,
+    fault_plan: Optional[FaultPlan] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> WorkerReport:
+    """The pull-worker loop behind ``repro worker``.
+
+    Polls ``url`` for chunk leases, evaluates each chunk via the pickled
+    runner chokepoint it carries, heartbeats while evaluating, and POSTs
+    the result back.  Exits with a :class:`WorkerReport` whose ``state``
+    says why: ``done`` (coordinator reports the sweep finished),
+    ``shutdown`` (coordinator asked workers to stop), ``coordinator-gone``
+    (transport retries exhausted — held leases just expire elsewhere), or
+    ``killed`` (the :class:`FaultPlan` terminated the worker mid-sweep,
+    lease still held — test harness only).
+    """
+    plan = fault_plan or FaultPlan()
+    report = WorkerReport(worker_id=worker_id or f"worker-{os.getpid()}.{next(_WORKER_COUNTER)}")
+    transport = _Transport(
+        url,
+        backoff_base=backoff_base,
+        backoff_cap=backoff_cap,
+        max_retries=max_retries,
+        sleep=sleep,
+    )
+    drops_left = plan.drop_completions
+    duplicates_left = plan.duplicate_completions
+    leased_chunks = 0
+    try:
+        while True:
+            grant = transport.post("/lease", {"worker": report.worker_id})
+            state = grant.get("state")
+            if state == "done":
+                report.state = "done"
+                return report
+            if state == "shutdown":
+                report.state = "shutdown"
+                return report
+            if state == "idle":
+                sleep(poll_interval)
+                continue
+            if state != "lease":
+                raise ConfigurationError(f"coordinator sent unknown state {state!r}")
+
+            if plan.kill_after_chunks is not None and leased_chunks >= plan.kill_after_chunks:
+                # Die mid-chunk, lease held: the deadline must expire and the
+                # chunk be re-issued for the sweep to finish without us.
+                report.state = "killed"
+                return report
+            leased_chunks += 1
+
+            chunk = int(grant["chunk"])
+            lease = str(grant["lease"])
+            run = str(grant["run"])
+            heartbeat_interval = max(0.01, float(grant["timeout"]) / 3.0)
+            with _Heartbeat(
+                transport,
+                worker=report.worker_id,
+                chunk=chunk,
+                lease=lease,
+                run=run,
+                interval=heartbeat_interval,
+            ):
+                result_payload, task_count = _evaluate_chunk(str(grant["payload"]))
+
+            if plan.delay_seconds:
+                sleep(plan.delay_seconds)
+            completion = {
+                "worker": report.worker_id,
+                "chunk": chunk,
+                "lease": lease,
+                "run": run,
+                "payload": base64.b64encode(result_payload).decode("ascii"),
+            }
+            if drops_left > 0:
+                drops_left -= 1
+                report.dropped_completions += 1
+                continue  # never POSTed: the lease expires and is re-issued
+            sends = 1
+            if duplicates_left > 0:
+                duplicates_left -= 1
+                report.duplicated_completions += 1
+                sends = 2
+            accepted = False
+            for _ in range(sends):
+                ack = transport.post("/complete", completion)
+                accepted = accepted or bool(ack.get("accepted"))
+            if accepted:
+                report.chunks_completed += 1
+                report.tasks_completed += task_count
+    except WorkerTransportError:
+        report.state = "coordinator-gone"
+        return report

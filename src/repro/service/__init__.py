@@ -10,11 +10,21 @@ outcome against the offline batch run.
 
 The layering mirrors the rest of the repository: ``session.py`` and
 ``daemon.py`` are pure library code with no I/O besides the recorder file,
-``server.py`` is the only module that owns sockets (and the only one allowed
-a pragma-justified wall-clock read), and ``replay.py`` closes the loop back
-to the workload registry.
+``server.py`` and ``coordinator.py`` are the only modules that own sockets
+(and the only ones allowed a pragma-justified wall-clock read, for /health
+uptime), and ``replay.py`` closes the loop back to the workload registry.
+
+``coordinator.py`` belongs to the *distributed sweep* fabric rather than the
+prefetch daemon: it is the chunk-lease ledger behind
+:class:`repro.analysis.remote.RemoteBackend` and the ``repro coordinator``
+command.
 """
 
+from .coordinator import (
+    CoordinatorHTTPServer,
+    SweepCoordinator,
+    make_coordinator_server,
+)
 from .daemon import PrefetchService
 from .recorder import SessionRecorder
 from .replay import ReplayReport, replay_workload
@@ -29,4 +39,7 @@ __all__ = [
     "PrefetchHTTPServer",
     "make_server",
     "Session",
+    "SweepCoordinator",
+    "CoordinatorHTTPServer",
+    "make_coordinator_server",
 ]

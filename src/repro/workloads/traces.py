@@ -119,8 +119,17 @@ def save_trace(sequence: RequestSequence | Sequence[BlockId], path: str | Path) 
 
 
 def load_trace(path: str | Path) -> RequestSequence:
-    """Read a request sequence from the one-block-per-line text format."""
-    text = Path(path).read_text(encoding="utf8")
+    """Read a request sequence from the one-block-per-line text format.
+
+    A missing or unreadable file raises
+    :class:`~repro.errors.ConfigurationError` naming the path — the same
+    strict-configuration contract the spec registry gives every other bad
+    parameter — instead of leaking a raw :class:`OSError`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file {path}: {exc}") from exc
     requests = [
         line.strip()
         for line in text.splitlines()

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.backends import (
@@ -16,6 +19,13 @@ from repro.analysis.backends import (
 from repro.analysis.runner import ExperimentSpec, run_experiments
 from repro.errors import ConfigurationError
 
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Every real backend the byte-identical-JSON equivalence suite runs; the
+#: catalog-sync meta-test pins it to BACKEND_NAMES so a new backend cannot
+#: ship without joining the equivalence property.
+EQUIVALENCE_BACKENDS = ("serial", "thread", "process", "remote")
+
 
 def _square(value: int) -> int:
     """Module-level (picklable) work function for the pool backends."""
@@ -27,6 +37,37 @@ def _maybe_boom(value: int) -> int:
     if value == 13:
         raise ValueError("unlucky task")
     return value
+
+
+def _run_with_backend(name: str, spec: ExperimentSpec, *, workers: int, cache_dir=None):
+    """Run ``spec`` on backend ``name`` (spinning up workers for ``remote``)."""
+    if name != "remote":
+        return run_experiments(spec, workers=workers, backend=name, cache_dir=cache_dir)
+    from repro.analysis.remote import RemoteBackend, run_worker
+
+    backend = RemoteBackend(workers, chunk_size=2, lease_timeout=10.0)
+    url = backend.start()
+    worker_kwargs = dict(
+        poll_interval=0.01, backoff_base=0.01, backoff_cap=0.05, max_retries=3
+    )
+    threads = [
+        threading.Thread(
+            target=run_worker, args=(url,), kwargs=worker_kwargs, daemon=True
+        )
+        for _ in range(max(2, workers))
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        return run_experiments(
+            spec, workers=workers, backend=backend, cache_dir=cache_dir
+        )
+    finally:
+        # Workers exit on the coordinator's 'done' state; join before closing
+        # the server so none burns its transport retries on a dead socket.
+        for thread in threads:
+            thread.join(timeout=30)
+        backend.close()
 
 
 class TestAdaptiveChunking:
@@ -61,7 +102,7 @@ class TestFactory:
         assert isinstance(make_backend("process", 4), ProcessPoolBackend)
 
     def test_unknown_backend_rejected_with_alternatives(self):
-        with pytest.raises(ConfigurationError, match="serial, thread, process"):
+        with pytest.raises(ConfigurationError, match="serial, thread, process, remote"):
             make_backend("mpi", 4)
 
     def test_spec_rejects_unknown_backend_at_construction(self):
@@ -73,7 +114,19 @@ class TestFactory:
 
     def test_every_advertised_name_is_constructible(self):
         for name in BACKEND_NAMES:
-            assert make_backend(name, 2).name in ("serial", "thread", "process")
+            assert make_backend(name, 2).name in (
+                "serial", "thread", "process", "remote"
+            )
+
+    def test_remote_backend_constructs_socket_free(self):
+        backend = make_backend("remote", 2)
+        assert backend.name == "remote"
+        assert backend.detached_workers
+        # No server bound until start(): asking for the URL is an error, and
+        # close() on a never-started backend is a clean no-op.
+        with pytest.raises(ConfigurationError, match="call start"):
+            backend.url
+        backend.close()
 
 
 class TestMapContract:
@@ -111,13 +164,13 @@ class TestBackendEquivalence:
 
     def test_plain_grid_is_byte_identical_across_backends(self):
         spec = self._spec()
-        serial = run_experiments(spec, workers=0, backend="serial")
-        thread = run_experiments(spec, workers=3, backend="thread")
-        process = run_experiments(spec, workers=2, backend="process")
-        assert serial.to_json() == thread.to_json() == process.to_json()
-        assert (serial.backend, thread.backend, process.backend) == (
-            "serial", "thread", "process"
-        )
+        runs = {
+            name: _run_with_backend(name, spec, workers=2)
+            for name in EQUIVALENCE_BACKENDS
+        }
+        documents = {run.to_json() for run in runs.values()}
+        assert len(documents) == 1
+        assert {run.backend for run in runs.values()} == set(EQUIVALENCE_BACKENDS)
 
     def test_optimum_grid_is_identical_modulo_solve_walltime(self, tmp_path):
         from repro.analysis.results import RUN_RECORD_COLUMNS
@@ -130,8 +183,8 @@ class TestBackendEquivalence:
             seeds=(None,), compute_optimum=True,
         )
         runs = [
-            run_experiments(spec, workers=2, backend=name, cache_dir=tmp_path / name)
-            for name in ("serial", "thread", "process")
+            _run_with_backend(name, spec, workers=2, cache_dir=tmp_path / name)
+            for name in EQUIVALENCE_BACKENDS
         ]
         documents = {run.to_json(columns) for run in runs}
         assert len(documents) == 1
@@ -145,3 +198,35 @@ class TestBackendEquivalence:
         assert run.backend == "thread"
         # An explicit argument overrides the spec's choice.
         assert run_experiments(spec, workers=0, backend="serial").backend == "serial"
+
+
+class TestBackendCatalogSync:
+    """Meta-tests: every advertised backend name appears everywhere it must.
+
+    Adding a backend to ``BACKEND_NAMES`` without updating the CLI help, the
+    architecture documentation, or the byte-identical equivalence suite is a
+    drift bug — these tests make it fail the suite instead of shipping.
+    """
+
+    def test_cli_backend_help_lists_every_name(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sweep_parser = next(
+            action.choices["sweep"]
+            for action in parser._subparsers._group_actions
+            if hasattr(action, "choices")
+        )
+        help_text = sweep_parser.format_help()
+        for name in BACKEND_NAMES:
+            assert name in help_text, f"--backend help is missing {name!r}"
+
+    def test_architecture_docs_mention_every_name(self):
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf8")
+        for name in BACKEND_NAMES:
+            assert name in text, f"docs/architecture.md does not mention {name!r}"
+
+    def test_equivalence_suite_covers_every_real_backend(self):
+        # 'auto' is an alias that resolves to serial/process, never a backend
+        # of its own; every other name must run the equivalence property.
+        assert set(EQUIVALENCE_BACKENDS) == set(BACKEND_NAMES) - {"auto"}

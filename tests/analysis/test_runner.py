@@ -183,7 +183,10 @@ class TestWorkerFailures:
             run_experiments(spec, workers=workers, backend=backend)
         message = str(excinfo.value)
         assert "trace:path=/nonexistent/never.txt k=4 F=3 D=1 alg=aggressive" in message
-        assert "FileNotFoundError" in message
+        # load_trace wraps the OSError in a strict ConfigurationError that
+        # names the unreadable path.
+        assert "ConfigurationError" in message
+        assert "/nonexistent/never.txt" in message
 
 
 class TestFingerprint:

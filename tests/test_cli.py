@@ -508,3 +508,83 @@ class TestSweepWatch:
         assert code == 0
         assert polls == [0.01]
         assert "4/4 points complete" in out
+
+
+class TestDistributedCommands:
+    GRID = ["-w", "zipf:n=30,blocks=8", "-k", "4", "-F", "3",
+            "-a", "aggressive,demand", "--seeds", "0,1"]
+
+    def test_worker_requires_coordinator_url(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_coordinator_requires_cache_dir(self, capsys):
+        code = main(["coordinator", *self.GRID])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "needs --cache-dir" in captured.err
+
+    def test_coordinator_rejects_foreign_backend(self, capsys, tmp_path):
+        code = main(["coordinator", *self.GRID, "--backend", "thread",
+                     "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "remote backend" in captured.err
+
+    def test_coordinator_and_worker_complete_a_grid(self, capsys, tmp_path):
+        """End-to-end in one process: CLI coordinator + one worker thread."""
+        import re
+        import threading
+
+        cache_dir = str(tmp_path / "cache")
+        printed = []
+
+        worker_done = []
+
+        def run_cli_worker(url):
+            worker_done.append(main([
+                "worker", "--coordinator", url, "--id", "w0",
+                "--poll-interval", "0.01", "--backoff-base", "0.01",
+                "--backoff-cap", "0.05", "--max-retries", "3",
+            ]))
+
+        # The coordinator prints its URL before blocking on results; capture
+        # it via a monkeypatch-free hook: spawn the worker as soon as the
+        # port shows up in the captured output.  Simplest reliable order in
+        # one process: run the coordinator in a thread, poll capsys from here.
+        coordinator_code = []
+
+        def run_coordinator():
+            coordinator_code.append(main([
+                "coordinator", *self.GRID, "--cache-dir", cache_dir,
+                "--chunk-size", "2", "--lease-timeout", "5",
+                "--linger", "0.1", "--port", "0",
+            ]))
+
+        thread = threading.Thread(target=run_coordinator, daemon=True)
+        thread.start()
+        url = None
+        deadline = 50
+        import time as time_module
+        for _ in range(deadline * 100):
+            out = capsys.readouterr().out
+            printed.append(out)
+            match = re.search(r"http://[\d.]+:\d+", out)
+            if match:
+                url = match.group(0)
+                break
+            time_module.sleep(0.01)
+        assert url is not None, "coordinator never printed its URL"
+        worker_thread = threading.Thread(target=run_cli_worker, args=(url,), daemon=True)
+        worker_thread.start()
+        thread.join(timeout=60)
+        worker_thread.join(timeout=60)
+        out = "".join(printed) + capsys.readouterr().out
+        assert coordinator_code == [0]
+        assert worker_done == [0]
+        assert "4 points" in out
+        assert "worker w0: done" in out
+        # The warm re-run is a pure cache hit through the ordinary sweep path.
+        assert main(["sweep", *self.GRID, "--cache-dir", cache_dir]) == 0
+        rerun = capsys.readouterr().out
+        assert "(4 cached, 0 simulated" in rerun
